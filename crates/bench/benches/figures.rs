@@ -1,0 +1,133 @@
+//! Regenerates every figure of the paper's evaluation.
+//!
+//! Run all: `cargo bench --bench figures`
+//! Run one: `cargo bench --bench figures -- fig2a`
+//! Quick pass: `PVTM_EFFORT=quick cargo bench --bench figures`
+//!
+//! Results are printed as tables and written to `results/<id>.json`.
+
+use pvtm::experiments as exp;
+use pvtm_bench::{effort_from_env, timed};
+
+fn wants(filter: &Option<String>, id: &str) -> bool {
+    filter.as_deref().is_none_or(|f| id.contains(f))
+}
+
+fn main() {
+    // Criterion-style CLI compatibility: ignore --bench and take the first
+    // free argument as a substring filter.
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"));
+    let effort = effort_from_env();
+    println!("== pvtm figure reproduction (effort: {effort:?}) ==\n");
+
+    let mut fig2c_result = None;
+    let mut fig10_result = None;
+
+    if wants(&filter, "fig2a") {
+        let r = timed("fig2a", || exp::fig2a(effort)).expect("fig2a failed");
+        println!("{r}");
+        exp::save_json("fig2a", &r).expect("write fig2a");
+    }
+    if wants(&filter, "fig2b") {
+        let r = timed("fig2b", || exp::fig2b(effort)).expect("fig2b failed");
+        println!("{r}");
+        exp::save_json("fig2b", &r).expect("write fig2b");
+    }
+    if wants(&filter, "fig2c") || wants(&filter, "headline") {
+        let r = timed("fig2c", || exp::fig2c(effort)).expect("fig2c failed");
+        println!("{r}");
+        exp::save_json("fig2c", &r).expect("write fig2c");
+        fig2c_result = Some(r);
+    }
+    if wants(&filter, "fig3") {
+        let r = timed("fig3", || exp::fig3(effort));
+        println!("{r}");
+        exp::save_json("fig3", &r).expect("write fig3");
+    }
+    if wants(&filter, "fig4b") {
+        let r = timed("fig4b", || exp::fig4b(effort)).expect("fig4b failed");
+        println!("{r}");
+        exp::save_json("fig4b", &r).expect("write fig4b");
+    }
+    if wants(&filter, "fig5a") {
+        let r = timed("fig5a", || exp::fig5a(effort));
+        println!("{r}");
+        exp::save_json("fig5a", &r).expect("write fig5a");
+    }
+    if wants(&filter, "fig5b") {
+        let r = timed("fig5b", || exp::fig5b(effort)).expect("fig5b failed");
+        println!("{r}");
+        exp::save_json("fig5b", &r).expect("write fig5b");
+    }
+    if wants(&filter, "fig5c") {
+        let r = timed("fig5c", || exp::fig5c(effort)).expect("fig5c failed");
+        println!("{r}");
+        exp::save_json("fig5c", &r).expect("write fig5c");
+    }
+    if wants(&filter, "fig6") {
+        let r = timed("fig6", || exp::fig6(effort)).expect("fig6 failed");
+        println!("{r}");
+        exp::save_json("fig6", &r).expect("write fig6");
+    }
+    if wants(&filter, "fig8") {
+        let r = timed("fig8", || exp::fig8(effort)).expect("fig8 failed");
+        println!("{r}");
+        exp::save_json("fig8", &r).expect("write fig8");
+    }
+    if wants(&filter, "fig9") {
+        let r = timed("fig9", || exp::fig9(effort)).expect("fig9 failed");
+        println!("{r}");
+        exp::save_json("fig9", &r).expect("write fig9");
+    }
+    if wants(&filter, "fig10") || wants(&filter, "headline") {
+        let r = timed("fig10", || exp::fig10(effort)).expect("fig10 failed");
+        println!("{r}");
+        exp::save_json("fig10", &r).expect("write fig10");
+        fig10_result = Some(r);
+    }
+    if let (Some(f2c), Some(f10)) = (&fig2c_result, &fig10_result) {
+        let h = exp::headline(f2c, f10);
+        println!("{h}");
+        exp::save_json("headline", &h).expect("write headline");
+    }
+
+    // Ablations of the design choices (DESIGN.md §6).
+    if wants(&filter, "ablation-monitor") {
+        let r = timed("ablation-monitor", || exp::ablation_monitor(effort))
+            .expect("ablation-monitor failed");
+        println!("{r}");
+        exp::save_json("ablation-monitor", &r).expect("write");
+    }
+    if wants(&filter, "ablation-dac") {
+        let r = timed("ablation-dac", || exp::ablation_dac(effort)).expect("ablation-dac failed");
+        println!("{r}");
+        exp::save_json("ablation-dac", &r).expect("write");
+    }
+    if wants(&filter, "ablation-bias") {
+        let r = timed("ablation-bias", || exp::ablation_bias_levels(effort))
+            .expect("ablation-bias failed");
+        println!("{r}");
+        exp::save_json("ablation-bias", &r).expect("write");
+    }
+    if wants(&filter, "ablation-march") {
+        let r = timed("ablation-march", || exp::ablation_march(effort));
+        println!("{r}");
+        exp::save_json("ablation-march", &r).expect("write");
+    }
+    if wants(&filter, "scaling") {
+        let r = timed("scaling", || exp::scaling(effort)).expect("scaling failed");
+        println!("{r}");
+        exp::save_json("scaling", &r).expect("write");
+    }
+    if wants(&filter, "ablation-temperature") {
+        let r = timed("ablation-temperature", || exp::ablation_temperature(effort));
+        println!("{r}");
+        exp::save_json("ablation-temperature", &r).expect("write");
+    }
+    println!(
+        "done; JSON written to {}",
+        exp::results_dir().display()
+    );
+}

@@ -1,0 +1,47 @@
+//! Experiment-harness support for the `pvtm` workspace benches.
+//!
+//! The real content lives in the two bench targets:
+//!
+//! - `benches/figures.rs` (`cargo bench --bench figures`) regenerates every
+//!   figure of the paper and writes `results/<id>.json`;
+//! - `benches/perf.rs` (`cargo bench --bench perf`) runs criterion
+//!   performance benchmarks of the substrates.
+
+use std::time::Instant;
+
+/// Runs a closure, printing its wall-clock duration with a label.
+///
+/// # Example
+///
+/// ```
+/// let value = pvtm_bench::timed("answer", || 42);
+/// assert_eq!(value, 42);
+/// ```
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!(
+        "[{label}] completed in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+    out
+}
+
+/// Selects the experiment effort from the `PVTM_EFFORT` environment
+/// variable (`quick` → quick; anything else → full).
+pub fn effort_from_env() -> pvtm::experiments::Effort {
+    match std::env::var("PVTM_EFFORT").as_deref() {
+        Ok("quick") => pvtm::experiments::Effort::quick(),
+        _ => pvtm::experiments::Effort::full(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_the_value() {
+        assert_eq!(timed("t", || 7), 7);
+    }
+}

@@ -1,0 +1,136 @@
+//! BIST controller: March execution plus the paper's per-column fault
+//! bookkeeping (Fig. 7's "register bank and counter").
+
+use serde::{Deserialize, Serialize};
+
+use crate::march::{MarchResult, MarchTest};
+use crate::memory::MemoryModel;
+
+/// The controller. Stateless between runs; each run produces a
+/// [`BistReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BistController;
+
+impl BistController {
+    /// Creates a controller.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs a March test and folds the failures into per-column flags,
+    /// mirroring the hardware: one register bit per column, set when any
+    /// row of that column misbehaves, plus a counter of set registers.
+    pub fn run(&self, test: &MarchTest, memory: &mut MemoryModel) -> BistReport {
+        let result = test.run(memory);
+        let mut column_flags = vec![false; memory.cols()];
+        for f in &result.failures {
+            column_flags[f.col] = true;
+        }
+        BistReport {
+            column_flags,
+            result,
+        }
+    }
+}
+
+/// Outcome of one BIST run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BistReport {
+    column_flags: Vec<bool>,
+    result: MarchResult,
+}
+
+impl BistReport {
+    /// Number of faulty columns (the counter of the paper's Fig. 7).
+    pub fn faulty_columns(&self) -> usize {
+        self.column_flags.iter().filter(|&&f| f).count()
+    }
+
+    /// Register-bank flag of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is out of range.
+    pub fn column_flag(&self, col: usize) -> bool {
+        self.column_flags[col]
+    }
+
+    /// The raw March result.
+    pub fn march_result(&self) -> &MarchResult {
+        &self.result
+    }
+
+    /// True when the array passed (no faulty column).
+    pub fn passed(&self) -> bool {
+        self.faulty_columns() == 0
+    }
+
+    /// True when the array is repairable with the given number of spare
+    /// columns — the comparison against `NRC` in the paper's calibration
+    /// loop.
+    pub fn repairable_with(&self, spare_columns: usize) -> bool {
+        self.faulty_columns() <= spare_columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Fault, FaultKind};
+
+    #[test]
+    fn clean_array_passes() {
+        let mut m = MemoryModel::new(8, 8);
+        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        assert!(report.passed());
+        assert_eq!(report.faulty_columns(), 0);
+        assert!(report.repairable_with(0));
+    }
+
+    #[test]
+    fn multiple_faults_in_one_column_count_once() {
+        let mut m = MemoryModel::new(8, 8);
+        for row in [1, 3, 5] {
+            m.inject(Fault {
+                row,
+                col: 2,
+                kind: FaultKind::StuckAt(true),
+            });
+        }
+        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        assert_eq!(report.faulty_columns(), 1);
+        assert!(report.column_flag(2));
+        assert!(!report.column_flag(3));
+    }
+
+    #[test]
+    fn repairability_threshold() {
+        let mut m = MemoryModel::new(8, 8);
+        for col in [0, 4, 7] {
+            m.inject(Fault {
+                row: 0,
+                col,
+                kind: FaultKind::StuckAt(false),
+            });
+            // StuckAt(false) is only visible when a 1 is expected; ensure
+            // the test toggles data — March C- does.
+        }
+        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        assert_eq!(report.faulty_columns(), 3);
+        assert!(!report.repairable_with(2));
+        assert!(report.repairable_with(3));
+    }
+
+    #[test]
+    fn report_exposes_raw_result() {
+        let mut m = MemoryModel::new(4, 4);
+        m.inject(Fault {
+            row: 1,
+            col: 1,
+            kind: FaultKind::StuckAt(true),
+        });
+        let report = BistController::new().run(&MarchTest::mats_plus(), &mut m);
+        assert!(!report.march_result().passed());
+        assert!(report.march_result().operations > 0);
+    }
+}

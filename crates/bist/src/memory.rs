@@ -1,0 +1,446 @@
+//! Behavioural memory array with fault injection.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A functional fault attached to one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The cell always reads the given value; writes are ignored.
+    StuckAt(bool),
+    /// The cell cannot make a 0 → 1 transition (writes of 1 over a stored 0
+    /// are lost); 1 → 0 still works.
+    TransitionUp,
+    /// The cell cannot make a 1 → 0 transition.
+    TransitionDown,
+    /// Inversion coupling: whenever the aggressor cell *transitions*, this
+    /// victim cell inverts.
+    CouplingInv {
+        /// Row of the aggressor cell.
+        agg_row: usize,
+        /// Column of the aggressor cell.
+        agg_col: usize,
+    },
+    /// Retention (hold) fault: a stored 1 decays to 0 whenever the array's
+    /// source-bias voltage is at or above `min_vsb`. This is the paper's
+    /// hold-failure fault class — latent at low source bias, exposed as the
+    /// calibration loop raises it.
+    Retention {
+        /// Lowest source bias \[V\] at which the cell loses its data.
+        min_vsb: f64,
+    },
+    /// Address-decoder fault: accesses to this cell are redirected to
+    /// another cell (the addressed cell is never actually reached).
+    AddressAlias {
+        /// Row actually accessed.
+        to_row: usize,
+        /// Column actually accessed.
+        to_col: usize,
+    },
+}
+
+/// A fault instance: location plus kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Cell row.
+    pub row: usize,
+    /// Cell column.
+    pub col: usize,
+    /// Fault behaviour.
+    pub kind: FaultKind,
+}
+
+/// A behavioural memory array (one bit per cell) with injected faults and a
+/// source-bias state that gates retention faults.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    rows: usize,
+    cols: usize,
+    data: Vec<bool>,
+    faults: HashMap<(usize, usize), Vec<FaultKind>>,
+    /// victim lists per aggressor cell.
+    coupling: HashMap<(usize, usize), Vec<(usize, usize)>>,
+    vsb: f64,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryModel {
+    /// Creates a fault-free array initialized to all zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "memory must have rows and columns");
+        Self {
+            rows,
+            cols,
+            data: vec![false; rows * cols],
+            faults: HashMap::new(),
+            coupling: HashMap::new(),
+            vsb: 0.0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Reads performed so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Injects a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault (or its aggressor) is out of bounds.
+    pub fn inject(&mut self, fault: Fault) {
+        assert!(
+            fault.row < self.rows && fault.col < self.cols,
+            "fault location ({}, {}) out of bounds",
+            fault.row,
+            fault.col
+        );
+        if let FaultKind::CouplingInv { agg_row, agg_col } = fault.kind {
+            assert!(
+                agg_row < self.rows && agg_col < self.cols,
+                "aggressor ({agg_row}, {agg_col}) out of bounds"
+            );
+            self.coupling
+                .entry((agg_row, agg_col))
+                .or_default()
+                .push((fault.row, fault.col));
+        }
+        if let FaultKind::AddressAlias { to_row, to_col } = fault.kind {
+            assert!(
+                to_row < self.rows && to_col < self.cols,
+                "alias target ({to_row}, {to_col}) out of bounds"
+            );
+            assert!(
+                (to_row, to_col) != (fault.row, fault.col),
+                "alias must point elsewhere"
+            );
+        }
+        self.faults
+            .entry((fault.row, fault.col))
+            .or_default()
+            .push(fault.kind);
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.values().map(Vec::len).sum()
+    }
+
+    /// Sets the source-bias voltage (activates retention faults whose
+    /// threshold is at or below it). Raising the bias immediately decays
+    /// the stored 1 of every exposed retention-faulty cell.
+    pub fn set_vsb(&mut self, vsb: f64) {
+        assert!(vsb.is_finite() && vsb >= 0.0, "invalid vsb {vsb}");
+        self.vsb = vsb;
+        // Standby decay of exposed cells.
+        let decayed: Vec<(usize, usize)> = self
+            .faults
+            .iter()
+            .filter(|((_, _), kinds)| {
+                kinds
+                    .iter()
+                    .any(|k| matches!(k, FaultKind::Retention { min_vsb } if vsb >= *min_vsb))
+            })
+            .map(|(&loc, _)| loc)
+            .collect();
+        for (r, c) in decayed {
+            self.data[r * self.cols + c] = false;
+        }
+    }
+
+    /// Current source-bias voltage.
+    pub fn vsb(&self) -> f64 {
+        self.vsb
+    }
+
+    /// Raw index of a cell.
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Resolves address-decoder aliasing: the cell actually accessed.
+    fn resolve(&self, row: usize, col: usize) -> (usize, usize) {
+        if let Some(kinds) = self.faults.get(&(row, col)) {
+            for k in kinds {
+                if let FaultKind::AddressAlias { to_row, to_col } = k {
+                    return (*to_row, *to_col);
+                }
+            }
+        }
+        (row, col)
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds address.
+    pub fn write(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "address out of bounds");
+        self.writes += 1;
+        let (row, col) = self.resolve(row, col);
+        let old = self.data[self.idx(row, col)];
+        let mut new = value;
+        if let Some(kinds) = self.faults.get(&(row, col)) {
+            for k in kinds {
+                match k {
+                    FaultKind::StuckAt(v) => new = *v,
+                    FaultKind::TransitionUp if !old && value => new = old,
+                    FaultKind::TransitionDown if old && !value => new = old,
+                    _ => {}
+                }
+            }
+        }
+        let i = self.idx(row, col);
+        let transitioned = self.data[i] != new;
+        self.data[i] = new;
+        // Retention faults swallow a freshly written 1 at high bias.
+        if new && self.retention_exposed(row, col) {
+            self.data[i] = false;
+        }
+        if transitioned {
+            self.fire_coupling(row, col);
+        }
+    }
+
+    /// Reads one bit (fault behaviour applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds address.
+    pub fn read(&mut self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "address out of bounds");
+        self.reads += 1;
+        let (row, col) = self.resolve(row, col);
+        let i = self.idx(row, col);
+        if self.data[i] && self.retention_exposed(row, col) {
+            self.data[i] = false;
+        }
+        let mut v = self.data[i];
+        if let Some(kinds) = self.faults.get(&(row, col)) {
+            for k in kinds {
+                if let FaultKind::StuckAt(s) = k {
+                    v = *s;
+                }
+            }
+        }
+        v
+    }
+
+    fn retention_exposed(&self, row: usize, col: usize) -> bool {
+        self.faults
+            .get(&(row, col))
+            .map(|kinds| {
+                kinds.iter().any(
+                    |k| matches!(k, FaultKind::Retention { min_vsb } if self.vsb >= *min_vsb),
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    fn fire_coupling(&mut self, row: usize, col: usize) {
+        if let Some(victims) = self.coupling.get(&(row, col)).cloned() {
+            for (vr, vc) in victims {
+                let i = self.idx(vr, vc);
+                self.data[i] = !self.data[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_memory_round_trips() {
+        let mut m = MemoryModel::new(4, 4);
+        m.write(2, 3, true);
+        assert!(m.read(2, 3));
+        m.write(2, 3, false);
+        assert!(!m.read(2, 3));
+        assert_eq!(m.write_count(), 2);
+        assert_eq!(m.read_count(), 2);
+    }
+
+    #[test]
+    fn stuck_at_ignores_writes() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::StuckAt(true),
+        });
+        m.write(0, 0, false);
+        assert!(m.read(0, 0));
+    }
+
+    #[test]
+    fn transition_up_blocks_only_rising_writes() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 1,
+            col: 1,
+            kind: FaultKind::TransitionUp,
+        });
+        m.write(1, 1, true); // 0 -> 1 blocked
+        assert!(!m.read(1, 1));
+        // A cell that is already 1 can still be written to 0 ... first
+        // force it to 1 through the data path? Not possible for this fault;
+        // verify 1 -> 0 path with TransitionDown on another cell instead.
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::TransitionDown,
+        });
+        m.write(0, 0, true);
+        assert!(m.read(0, 0));
+        m.write(0, 0, false); // 1 -> 0 blocked
+        assert!(m.read(0, 0));
+    }
+
+    #[test]
+    fn coupling_inverts_victim_on_aggressor_transition() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 0,
+            col: 1,
+            kind: FaultKind::CouplingInv {
+                agg_row: 0,
+                agg_col: 0,
+            },
+        });
+        m.write(0, 1, false);
+        m.write(0, 0, true); // aggressor transitions: victim inverts
+        assert!(m.read(0, 1));
+        m.write(0, 0, true); // no transition: victim unchanged
+        assert!(m.read(0, 1));
+    }
+
+    #[test]
+    fn retention_fault_gated_by_vsb() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 1,
+            col: 0,
+            kind: FaultKind::Retention { min_vsb: 0.3 },
+        });
+        m.write(1, 0, true);
+        assert!(m.read(1, 0), "below threshold the cell holds");
+        m.set_vsb(0.2);
+        assert!(m.read(1, 0), "still below threshold");
+        m.set_vsb(0.3);
+        assert!(!m.read(1, 0), "at threshold the 1 decays");
+        // Writing a 1 at high bias is immediately lost.
+        m.write(1, 0, true);
+        assert!(!m.read(1, 0));
+        // Back at low bias the cell works again.
+        m.set_vsb(0.0);
+        m.write(1, 0, true);
+        assert!(m.read(1, 0));
+    }
+
+    #[test]
+    fn address_alias_redirects_accesses() {
+        let mut m = MemoryModel::new(4, 4);
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::AddressAlias { to_row: 2, to_col: 2 },
+        });
+        m.write(0, 0, true);
+        // The addressed cell was never written; the alias target was.
+        assert!(m.read(2, 2));
+        assert!(m.read(0, 0), "reads of (0,0) see the alias target");
+        m.write(2, 2, false);
+        assert!(!m.read(0, 0));
+    }
+
+    #[test]
+    fn mats_plus_detects_address_faults() {
+        use crate::march::MarchTest;
+        let mut m = MemoryModel::new(4, 4);
+        m.inject(Fault {
+            row: 1,
+            col: 1,
+            kind: FaultKind::AddressAlias { to_row: 3, to_col: 3 },
+        });
+        let r = MarchTest::mats_plus().run(&mut m);
+        assert!(!r.passed(), "MATS+ must catch decoder aliasing");
+    }
+
+    #[test]
+    #[should_panic(expected = "alias must point elsewhere")]
+    fn alias_to_self_rejected() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::AddressAlias { to_row: 0, to_col: 0 },
+        });
+    }
+
+    #[test]
+    fn fault_count_accumulates() {
+        let mut m = MemoryModel::new(4, 4);
+        assert_eq!(m.fault_count(), 0);
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::StuckAt(false),
+        });
+        m.inject(Fault {
+            row: 0,
+            col: 0,
+            kind: FaultKind::TransitionUp,
+        });
+        assert_eq!(m.fault_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_fault() {
+        let mut m = MemoryModel::new(2, 2);
+        m.inject(Fault {
+            row: 5,
+            col: 0,
+            kind: FaultKind::StuckAt(false),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_read() {
+        let mut m = MemoryModel::new(2, 2);
+        let _ = m.read(2, 0);
+    }
+}

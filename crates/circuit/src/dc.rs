@@ -1,0 +1,723 @@
+//! DC operating-point solver: damped Newton–Raphson with Gmin continuation
+//! and source-stepping fallback.
+
+use crate::linalg::Matrix;
+use crate::netlist::{CircuitError, Element, Netlist, NodeId};
+use pvtm_device::Bias;
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone)]
+pub struct DcOptions {
+    /// Maximum Newton iterations per continuation stage.
+    pub max_iterations: usize,
+    /// KCL residual tolerance \[A\].
+    pub current_tol: f64,
+    /// Largest node-voltage update applied per iteration \[V\] (damping).
+    pub max_step: f64,
+    /// Starting Gmin for the continuation \[S\].
+    pub gmin_start: f64,
+    /// Final (residual) Gmin left in place \[S\]; keeps floating nodes pinned.
+    pub gmin_final: f64,
+    /// Initial node-voltage guesses; unspecified nodes start at 0 V.
+    pub initial: Vec<(NodeId, f64)>,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 120,
+            current_tol: 1e-10,
+            max_step: 0.3,
+            gmin_start: 1e-3,
+            gmin_final: 1e-12,
+            initial: Vec::new(),
+        }
+    }
+}
+
+impl DcOptions {
+    /// Adds an initial guess for one node.
+    pub fn guess(mut self, node: NodeId, volts: f64) -> Self {
+        self.initial.push((node, volts));
+        self
+    }
+}
+
+/// A converged DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    pub(crate) state: Vec<f64>,
+    pub(crate) num_free_nodes: usize,
+    branch_names: Vec<String>,
+}
+
+impl DcSolution {
+    /// Voltage of a node \[V\]. Ground reads 0.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.state[node.index() - 1]
+        }
+    }
+
+    /// Branch current of a named voltage source \[A\], positive when the
+    /// source delivers current out of its positive terminal.
+    pub fn branch_current(&self, source_name: &str) -> Option<f64> {
+        self.branch_names
+            .iter()
+            .position(|n| n == source_name)
+            .map(|i| self.state[self.num_free_nodes + i])
+    }
+
+    /// Full solver state (node voltages then branch currents), usable as a
+    /// warm start for [`solve_from`] or a transient initial condition.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+}
+
+/// Shared equation assembler for DC and transient analyses.
+pub(crate) struct System<'a> {
+    netlist: &'a Netlist,
+    pub(crate) num_free_nodes: usize,
+    pub(crate) num_unknowns: usize,
+    vsource_rows: Vec<usize>,
+}
+
+/// Backward-Euler companion data for transient steps.
+pub(crate) struct Companion<'a> {
+    /// Time step \[s\].
+    pub dt: f64,
+    /// Solver state at the previous time point.
+    pub prev: &'a [f64],
+}
+
+impl<'a> System<'a> {
+    pub(crate) fn new(netlist: &'a Netlist) -> Self {
+        let num_free_nodes = netlist.num_nodes() - 1;
+        let num_vsources = netlist
+            .elements()
+            .iter()
+            .filter(|(_, e)| matches!(e, Element::Vsource { .. }))
+            .count();
+        let mut vsource_rows = Vec::with_capacity(num_vsources);
+        let mut row = num_free_nodes;
+        for (_, e) in netlist.elements() {
+            if matches!(e, Element::Vsource { .. }) {
+                vsource_rows.push(row);
+                row += 1;
+            }
+        }
+        Self {
+            netlist,
+            num_free_nodes,
+            num_unknowns: num_free_nodes + num_vsources,
+            vsource_rows,
+        }
+    }
+
+    pub(crate) fn branch_names(&self) -> Vec<String> {
+        self.netlist
+            .elements()
+            .iter()
+            .filter(|(_, e)| matches!(e, Element::Vsource { .. }))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    #[inline]
+    fn v(&self, x: &[f64], node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    }
+
+    /// Adds `current` flowing *into* `node` to the residual.
+    #[inline]
+    fn kcl(res: &mut [f64], node: NodeId, current: f64) {
+        if !node.is_ground() {
+            res[node.index() - 1] += current;
+        }
+    }
+
+    #[inline]
+    fn jac_add(jac: &mut Matrix, row_node: NodeId, col: usize, v: f64) {
+        if !row_node.is_ground() {
+            jac.add(row_node.index() - 1, col, v);
+        }
+    }
+
+    /// Assembles the residual `f(x)` and Jacobian `df/dx` at state `x`.
+    ///
+    /// `gmin` adds a conductance from every free node to ground. When
+    /// `companion` is provided, capacitors are stamped with their
+    /// backward-Euler companion model; otherwise they are open circuits.
+    pub(crate) fn assemble(
+        &self,
+        x: &[f64],
+        gmin: f64,
+        companion: Option<&Companion<'_>>,
+        jac: &mut Matrix,
+        res: &mut [f64],
+    ) {
+        debug_assert_eq!(x.len(), self.num_unknowns);
+        jac.clear();
+        res.fill(0.0);
+        let temp = self.netlist.temperature();
+
+        // Gmin to ground on every free node.
+        for i in 0..self.num_free_nodes {
+            res[i] += -gmin * x[i];
+            jac.add(i, i, -gmin);
+        }
+
+        let mut vsrc_idx = 0usize;
+        for (_, el) in self.netlist.elements() {
+            match el {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let i_ab = (self.v(x, *a) - self.v(x, *b)) * g;
+                    Self::kcl(res, *a, -i_ab);
+                    Self::kcl(res, *b, i_ab);
+                    self.stamp_conductance(jac, *a, *b, g);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    if let Some(c) = companion {
+                        // i = C/dt · (v_ab - v_ab_prev), flowing a → b.
+                        let g = farads / c.dt;
+                        let vab = self.v(x, *a) - self.v(x, *b);
+                        let vab_prev = self.v(c.prev, *a) - self.v(c.prev, *b);
+                        let i_ab = g * (vab - vab_prev);
+                        Self::kcl(res, *a, -i_ab);
+                        Self::kcl(res, *b, i_ab);
+                        self.stamp_conductance(jac, *a, *b, g);
+                    }
+                }
+                Element::Vsource { pos, neg, volts } => {
+                    let row = self.vsource_rows[vsrc_idx];
+                    let i_branch = x[row];
+                    vsrc_idx += 1;
+                    // The source delivers i_branch into `pos`.
+                    Self::kcl(res, *pos, i_branch);
+                    Self::kcl(res, *neg, -i_branch);
+                    Self::jac_add(jac, *pos, row, 1.0);
+                    Self::jac_add(jac, *neg, row, -1.0);
+                    // Constraint: v(pos) - v(neg) - V = 0.
+                    res[row] = self.v(x, *pos) - self.v(x, *neg) - volts;
+                    if !pos.is_ground() {
+                        jac.add(row, pos.index() - 1, 1.0);
+                    }
+                    if !neg.is_ground() {
+                        jac.add(row, neg.index() - 1, -1.0);
+                    }
+                }
+                Element::Isource { from, to, amps } => {
+                    Self::kcl(res, *from, -amps);
+                    Self::kcl(res, *to, *amps);
+                }
+                Element::Mosfet { d, g, s, b, device } => {
+                    let bias = Bias::new(
+                        self.v(x, *g),
+                        self.v(x, *d),
+                        self.v(x, *s),
+                        self.v(x, *b),
+                    );
+                    let id = device.ids(bias, temp);
+                    // The channel draws `id` out of the drain node and
+                    // returns it at the source node.
+                    Self::kcl(res, *d, -id);
+                    Self::kcl(res, *s, id);
+
+                    // Numeric partial derivatives wrt each terminal.
+                    const DV: f64 = 1e-6;
+                    let terminals = [(*g, 0), (*d, 1), (*s, 2), (*b, 3)];
+                    for (node, which) in terminals {
+                        if node.is_ground() {
+                            continue;
+                        }
+                        let mut pb = bias;
+                        match which {
+                            0 => pb.vg += DV,
+                            1 => pb.vd += DV,
+                            2 => pb.vs += DV,
+                            _ => pb.vb += DV,
+                        }
+                        let did = (device.ids(pb, temp) - id) / DV;
+                        let col = node.index() - 1;
+                        Self::jac_add(jac, *d, col, -did);
+                        Self::jac_add(jac, *s, col, did);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stamps a linear conductance between `a` and `b` into the Jacobian
+    /// (contribution of current flowing a → b to the KCL rows).
+    fn stamp_conductance(&self, jac: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+        if !a.is_ground() {
+            let ia = a.index() - 1;
+            jac.add(ia, ia, -g);
+            if !b.is_ground() {
+                jac.add(ia, b.index() - 1, g);
+            }
+        }
+        if !b.is_ground() {
+            let ib = b.index() - 1;
+            jac.add(ib, ib, -g);
+            if !a.is_ground() {
+                jac.add(ib, a.index() - 1, g);
+            }
+        }
+    }
+
+    /// Infinity norm of the KCL rows of the residual (the convergence
+    /// metric; constraint rows are driven to machine precision anyway).
+    pub(crate) fn kcl_norm(&self, res: &[f64]) -> f64 {
+        res.iter().fold(0.0f64, |m, r| m.max(r.abs()))
+    }
+
+    /// Runs damped Newton at a fixed Gmin from the given state.
+    ///
+    /// Returns the residual norm achieved; the state is updated in place.
+    pub(crate) fn newton(
+        &self,
+        x: &mut [f64],
+        gmin: f64,
+        companion: Option<&Companion<'_>>,
+        opts: &DcOptions,
+    ) -> Result<f64, CircuitError> {
+        let n = self.num_unknowns;
+        let mut jac = Matrix::zeros(n);
+        let mut res = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+
+        self.assemble(x, gmin, companion, &mut jac, &mut res);
+        let mut norm = self.kcl_norm(&res);
+
+        for iter in 0..opts.max_iterations {
+            if norm < opts.current_tol {
+                return Ok(norm);
+            }
+            // Solve J Δx = -f.
+            for i in 0..n {
+                rhs[i] = -res[i];
+            }
+            jac.solve_in_place(&mut rhs)
+                .map_err(|e| CircuitError::SingularMatrix { column: e.column })?;
+
+            // Damp node-voltage updates.
+            let mut scale = 1.0f64;
+            for (i, dv) in rhs.iter().enumerate().take(self.num_free_nodes) {
+                if dv.abs() * scale > opts.max_step {
+                    scale = opts.max_step / dv.abs();
+                }
+                let _ = i;
+            }
+
+            // Line search: halve the step until the residual improves (or
+            // accept the last halving).
+            let mut step = scale;
+            let mut accepted = false;
+            let x_old: Vec<f64> = x.to_vec();
+            for _ in 0..8 {
+                for i in 0..n {
+                    x[i] = x_old[i] + step * rhs[i];
+                }
+                // Keep node voltages in a physical window.
+                for xi in x.iter_mut().take(self.num_free_nodes) {
+                    *xi = xi.clamp(-10.0, 10.0);
+                }
+                self.assemble(x, gmin, companion, &mut jac, &mut res);
+                let new_norm = self.kcl_norm(&res);
+                if new_norm < norm || new_norm < opts.current_tol {
+                    norm = new_norm;
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !accepted {
+                // Accept the smallest step anyway; Newton often recovers.
+                norm = self.kcl_norm(&res);
+            }
+            let _ = iter;
+        }
+        if norm < opts.current_tol {
+            Ok(norm)
+        } else {
+            Err(CircuitError::NoConvergence {
+                residual: norm,
+                iterations: opts.max_iterations,
+            })
+        }
+    }
+}
+
+/// Solves the DC operating point of a netlist.
+///
+/// Strategy: Gmin continuation from `gmin_start` down to `gmin_final`
+/// (factor-100 steps), warm-starting each stage. If that fails, a source
+/// ramp (25 % → 100 % of every voltage source) is attempted on top.
+///
+/// # Errors
+///
+/// [`CircuitError::EmptyCircuit`] for a netlist with no unknowns;
+/// [`CircuitError::NoConvergence`] / [`CircuitError::SingularMatrix`] when
+/// both strategies fail.
+pub fn solve(netlist: &Netlist, opts: &DcOptions) -> Result<DcSolution, CircuitError> {
+    let sys = System::new(netlist);
+    if sys.num_unknowns == 0 {
+        return Err(CircuitError::EmptyCircuit);
+    }
+    let mut x = initial_state(&sys, opts);
+
+    if gmin_continuation(&sys, &mut x, opts).is_err() {
+        // Heavily damped retry: small steps ride out fold regions where
+        // full Newton oscillates (e.g. a cell losing bistability).
+        let damped = DcOptions {
+            max_step: 0.05,
+            max_iterations: 400,
+            ..opts.clone()
+        };
+        x = initial_state(&sys, opts);
+        if gmin_continuation(&sys, &mut x, &damped).is_err() {
+            // Source-stepping fallback.
+            x = initial_state(&sys, opts);
+            source_ramp(netlist, &sys, &mut x, &damped)?;
+        }
+    }
+
+    Ok(DcSolution {
+        state: x,
+        num_free_nodes: sys.num_free_nodes,
+        branch_names: sys.branch_names(),
+    })
+}
+
+/// Solves starting from a previous solution's state (warm start).
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`].
+///
+/// # Panics
+///
+/// Panics if `state` has the wrong length for this netlist.
+pub fn solve_from(
+    netlist: &Netlist,
+    opts: &DcOptions,
+    state: &[f64],
+) -> Result<DcSolution, CircuitError> {
+    let sys = System::new(netlist);
+    assert_eq!(state.len(), sys.num_unknowns, "warm-start state length");
+    let mut x = state.to_vec();
+    match sys.newton(&mut x, opts.gmin_final, None, opts) {
+        Ok(_) => Ok(DcSolution {
+            state: x,
+            num_free_nodes: sys.num_free_nodes,
+            branch_names: sys.branch_names(),
+        }),
+        // Warm start failed: fall back to the full strategy.
+        Err(_) => solve(netlist, opts),
+    }
+}
+
+/// Sweeps a named voltage source over `values`, warm-starting each point.
+///
+/// # Errors
+///
+/// Fails on the first value whose operating point cannot be found, or if
+/// the source name is unknown.
+pub fn sweep_vsource(
+    netlist: &mut Netlist,
+    source: &str,
+    values: &[f64],
+    opts: &DcOptions,
+) -> Result<Vec<DcSolution>, CircuitError> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev_state: Option<Vec<f64>> = None;
+    for &v in values {
+        netlist.set_vsource(source, v)?;
+        let sol = match &prev_state {
+            Some(s) => solve_from(netlist, opts, s)?,
+            None => solve(netlist, opts)?,
+        };
+        prev_state = Some(sol.state.clone());
+        out.push(sol);
+    }
+    Ok(out)
+}
+
+/// Per-element currents at a converged operating point \[A\] — the
+/// operating-point report of a classic SPICE `.op` card.
+///
+/// Conventions: resistors report the current flowing `a → b`; voltage
+/// sources report their branch current (positive = delivering out of the
+/// positive terminal); current sources report their programmed value;
+/// MOSFETs report the drain current; capacitors carry no DC current.
+pub fn operating_point(netlist: &Netlist, sol: &DcSolution) -> Vec<(String, f64)> {
+    let v = |n: NodeId| sol.voltage(n);
+    netlist
+        .elements()
+        .iter()
+        .map(|(name, el)| {
+            let i = match el {
+                Element::Resistor { a, b, ohms } => (v(*a) - v(*b)) / ohms,
+                Element::Capacitor { .. } => 0.0,
+                Element::Vsource { .. } => sol.branch_current(name).unwrap_or(0.0),
+                Element::Isource { amps, .. } => *amps,
+                Element::Mosfet { d, g, s, b, device } => device.ids(
+                    Bias::new(v(*g), v(*d), v(*s), v(*b)),
+                    netlist.temperature(),
+                ),
+            };
+            (name.clone(), i)
+        })
+        .collect()
+}
+
+fn initial_state(sys: &System<'_>, opts: &DcOptions) -> Vec<f64> {
+    let mut x = vec![0.0; sys.num_unknowns];
+    for &(node, v) in &opts.initial {
+        if !node.is_ground() {
+            x[node.index() - 1] = v;
+        }
+    }
+    x
+}
+
+fn gmin_continuation(
+    sys: &System<'_>,
+    x: &mut [f64],
+    opts: &DcOptions,
+) -> Result<(), CircuitError> {
+    let mut gmin = opts.gmin_start;
+    loop {
+        sys.newton(x, gmin, None, opts)?;
+        if gmin <= opts.gmin_final {
+            return Ok(());
+        }
+        gmin = (gmin * 1e-2).max(opts.gmin_final);
+    }
+}
+
+fn source_ramp(
+    netlist: &Netlist,
+    sys: &System<'_>,
+    x: &mut [f64],
+    opts: &DcOptions,
+) -> Result<(), CircuitError> {
+    // Work on a scaled copy of the netlist.
+    let mut scaled = netlist.clone();
+    let originals: Vec<(usize, f64)> = netlist
+        .elements()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, e))| match e {
+            Element::Vsource { volts, .. } => Some((i, *volts)),
+            _ => None,
+        })
+        .collect();
+    for &alpha in &[0.25, 0.5, 0.75, 1.0] {
+        for &(idx, v) in &originals {
+            let name = scaled.elements()[idx].0.clone();
+            scaled.set_vsource(&name, v * alpha)?;
+        }
+        let sys_scaled = System::new(&scaled);
+        debug_assert_eq!(sys_scaled.num_unknowns, sys.num_unknowns);
+        gmin_continuation(&sys_scaled, x, opts)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvtm_device::{Mosfet, Technology};
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Netlist::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", top, Netlist::GROUND, 2.0);
+        ckt.resistor("R1", top, mid, 3e3);
+        ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
+        let sol = ckt.solve_dc().unwrap();
+        assert!((sol.voltage(mid) - 0.5).abs() < 1e-8);
+        assert!((sol.voltage(top) - 2.0).abs() < 1e-12);
+        // Source delivers 0.5 mA.
+        let i = sol.branch_current("V1").unwrap();
+        assert!((i - 0.5e-3).abs() < 1e-9, "i = {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Netlist::new();
+        let a = ckt.node("a");
+        ckt.isource("I1", Netlist::GROUND, a, 1e-3);
+        ckt.resistor("R1", a, Netlist::GROUND, 2e3);
+        let sol = ckt.solve_dc().unwrap();
+        assert!((sol.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stacked_voltage_sources() {
+        let mut ckt = Netlist::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Netlist::GROUND, 1.0);
+        ckt.vsource("V2", b, a, 0.5);
+        ckt.resistor("R", b, Netlist::GROUND, 1e3);
+        let sol = ckt.solve_dc().unwrap();
+        assert!((sol.voltage(b) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_vtc_endpoints() {
+        let tech = Technology::predictive_70nm();
+        let mut ckt = Netlist::new();
+        let vdd = ckt.node("vdd");
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        ckt.vsource("VIN", input, Netlist::GROUND, 0.0);
+        ckt.mosfet(
+            "MP",
+            out,
+            input,
+            vdd,
+            vdd,
+            Mosfet::pmos(&tech, 200e-9, tech.lmin()),
+        );
+        ckt.mosfet(
+            "MN",
+            out,
+            input,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::nmos(&tech, 140e-9, tech.lmin()),
+        );
+        // Input low → output high.
+        let sol = ckt.solve_dc().unwrap();
+        assert!(sol.voltage(out) > 0.95, "out = {}", sol.voltage(out));
+        // Input high → output low.
+        ckt.set_vsource("VIN", 1.0).unwrap();
+        let sol = ckt.solve_dc().unwrap();
+        assert!(sol.voltage(out) < 0.05, "out = {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn inverter_vtc_is_monotone_under_sweep() {
+        let tech = Technology::predictive_70nm();
+        let mut ckt = Netlist::new();
+        let vdd = ckt.node("vdd");
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        ckt.vsource("VIN", input, Netlist::GROUND, 0.0);
+        ckt.mosfet(
+            "MP",
+            out,
+            input,
+            vdd,
+            vdd,
+            Mosfet::pmos(&tech, 200e-9, tech.lmin()),
+        );
+        ckt.mosfet(
+            "MN",
+            out,
+            input,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::nmos(&tech, 140e-9, tech.lmin()),
+        );
+        let vin: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+        let sols = sweep_vsource(&mut ckt, "VIN", &vin, &DcOptions::default()).unwrap();
+        let vout: Vec<f64> = sols.iter().map(|s| s.voltage(out)).collect();
+        for w in vout.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC must fall monotonically: {vout:?}");
+        }
+        assert!(vout[0] > 0.95 && vout[20] < 0.05);
+    }
+
+    #[test]
+    fn kcl_residual_property_at_solution() {
+        // At any converged solution, the assembled residual must be tiny.
+        let tech = Technology::predictive_70nm();
+        let mut ckt = Netlist::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        ckt.resistor("RL", vdd, out, 50e3);
+        ckt.mosfet(
+            "MN",
+            out,
+            vdd,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::nmos(&tech, 200e-9, tech.lmin()),
+        );
+        let opts = DcOptions::default();
+        let sol = solve(&ckt, &opts).unwrap();
+        let sys = System::new(&ckt);
+        let mut jac = Matrix::zeros(sys.num_unknowns);
+        let mut res = vec![0.0; sys.num_unknowns];
+        sys.assemble(sol.state(), opts.gmin_final, None, &mut jac, &mut res);
+        assert!(sys.kcl_norm(&res) < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_is_an_error() {
+        let ckt = Netlist::new();
+        assert_eq!(ckt.solve_dc().unwrap_err(), CircuitError::EmptyCircuit);
+    }
+
+    #[test]
+    fn floating_node_pinned_by_gmin() {
+        // A node connected only through a capacitor is floating in DC;
+        // Gmin must keep the matrix solvable and park it at 0.
+        let mut ckt = Netlist::new();
+        let a = ckt.node("a");
+        let f = ckt.node("float");
+        ckt.vsource("V1", a, Netlist::GROUND, 1.0);
+        ckt.capacitor("C1", a, f, 1e-15);
+        let sol = ckt.solve_dc().unwrap();
+        assert!(sol.voltage(f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn operating_point_satisfies_kcl_per_element() {
+        let mut ckt = Netlist::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", top, Netlist::GROUND, 2.0);
+        ckt.resistor("R1", top, mid, 3e3);
+        ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
+        let sol = ckt.solve_dc().unwrap();
+        let op = operating_point(&ckt, &sol);
+        let get = |n: &str| op.iter().find(|(name, _)| name == n).unwrap().1;
+        // Series chain: all three elements carry 0.5 mA.
+        assert!((get("V1") - 0.5e-3).abs() < 1e-8);
+        assert!((get("R1") - 0.5e-3).abs() < 1e-8);
+        assert!((get("R2") - 0.5e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start() {
+        let mut ckt = Netlist::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", top, Netlist::GROUND, 1.0);
+        ckt.resistor("R1", top, mid, 1e3);
+        ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
+        let opts = DcOptions::default();
+        let cold = solve(&ckt, &opts).unwrap();
+        let warm = solve_from(&ckt, &opts, cold.state()).unwrap();
+        assert!((warm.voltage(mid) - cold.voltage(mid)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! A small modified-nodal-analysis circuit simulator.
+//!
+//! The paper's evaluation rests on HSPICE DC and transient simulations of a
+//! 6T SRAM cell. This crate is the substitute: enough of a SPICE to compute
+//! everything those analyses need —
+//!
+//! - **DC operating points** of nonlinear MOSFET circuits via damped
+//!   Newton–Raphson with Gmin continuation (read-disturb voltages, inverter
+//!   trip points, write margins, hold states),
+//! - **DC sweeps** with warm starts (butterfly curves, VTCs),
+//! - **transient analysis** via backward Euler (bit-line discharge for
+//!   access-time extraction).
+//!
+//! Circuits here are small (an SRAM cell plus periphery is under twenty
+//! nodes), so the solver uses dense LU factorization and per-element
+//! numeric derivatives — simple, robust, and fast at this scale.
+//!
+//! # Example
+//!
+//! ```
+//! use pvtm_circuit::Netlist;
+//!
+//! // A resistive divider: 1 V across two equal resistors.
+//! let mut ckt = Netlist::new();
+//! let top = ckt.node("top");
+//! let mid = ckt.node("mid");
+//! ckt.vsource("V1", top, Netlist::GROUND, 1.0);
+//! ckt.resistor("R1", top, mid, 1e3);
+//! ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
+//! let sol = ckt.solve_dc()?;
+//! assert!((sol.voltage(mid) - 0.5).abs() < 1e-6);
+//! # Ok::<(), pvtm_circuit::CircuitError>(())
+//! ```
+
+pub mod dc;
+pub mod linalg;
+pub mod netlist;
+pub mod parser;
+pub mod transient;
+
+pub use dc::{DcOptions, DcSolution};
+pub use netlist::{CircuitError, Element, Netlist, NodeId};
+pub use parser::{parse_netlist, ParseError};
+pub use transient::{TransientOptions, TransientResult};

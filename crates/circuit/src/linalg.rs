@@ -1,0 +1,222 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! Circuits in this workspace have at most a few dozen unknowns, where a
+//! dense solver beats any sparse machinery. Implemented in-repo to keep the
+//! workspace free of numerical dependencies.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)` — the natural operation for MNA stamps.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting; `b` becomes
+    /// the solution. The matrix is destroyed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when a pivot collapses below 1e-300
+    /// (structurally singular or hopelessly ill-conditioned system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the LU algebra
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SingularMatrix> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Decompose with partial pivoting, applying row swaps to b as we go.
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut max = self.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = self.get(i, k).abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SingularMatrix { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let a = self.get(k, j);
+                    let c = self.get(p, j);
+                    self.set(k, j, c);
+                    self.set(p, j, a);
+                }
+                b.swap(k, p);
+            }
+            let pivot = self.get(k, k);
+            for i in (k + 1)..n {
+                let factor = self.get(i, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.set(i, k, 0.0);
+                for j in (k + 1)..n {
+                    let v = self.get(i, j) - factor * self.get(k, j);
+                    self.set(i, j, v);
+                }
+                b[i] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= self.get(i, j) * b[j];
+            }
+            b[i] = sum / self.get(i, i);
+        }
+        Ok(())
+    }
+}
+
+/// Error: the system matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column at which elimination found no usable pivot.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular system matrix at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [4/5, 7/5]
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut b = vec![3.0, 5.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] => x = [3, 2]
+        let mut m = Matrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let mut b = vec![2.0, 3.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(m.solve_in_place(&mut b).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn random_system_residual_is_tiny() {
+        // Deterministic pseudo-random fill; verify A·x ≈ b.
+        let n = 12;
+        let mut m = Matrix::zeros(n);
+        let mut state = 0x1234_5678_u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = rnd() + if i == j { 4.0 } else { 0.0 };
+                m.set(i, j, v);
+                a.set(i, j, v);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let mut x = b.clone();
+        m.solve_in_place(&mut x).unwrap();
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in 0..n {
+                dot += a.get(i, j) * x[j];
+            }
+            assert!((dot - b[i]).abs() < 1e-10, "row {i} residual");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_dimension() {
+        let mut m = Matrix::zeros(4);
+        m.set(2, 2, 5.0);
+        m.clear();
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+}

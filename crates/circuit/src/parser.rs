@@ -1,0 +1,302 @@
+//! A SPICE-like netlist deck parser.
+//!
+//! Lets circuits be described as text — handy for tests, examples and
+//! ad-hoc exploration without writing builder code:
+//!
+//! ```text
+//! * resistive divider with an NMOS load
+//! V1 vdd 0 1.0
+//! R1 vdd mid 10k
+//! R2 mid 0 10k
+//! MN1 mid vdd 0 0 nmos w=200n l=70n
+//! .temp 300
+//! ```
+//!
+//! Supported cards: `R` (resistor), `C` (capacitor), `V` (DC voltage
+//! source), `I` (DC current source), `M` (MOSFET, `nmos`/`pmos` with
+//! `w=`, `l=` and optional `dvt=`), `.temp`, `*`/`;` comments. Values
+//! accept the usual engineering suffixes (`f p n u m k meg g t`).
+
+use crate::netlist::Netlist;
+use pvtm_device::{Mosfet, Technology};
+
+/// A netlist parse error, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending card.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an engineering-notation value such as `10k`, `1.5meg`, `200n`,
+/// `3.3`.
+///
+/// # Errors
+///
+/// Returns a description when the token is not a valid value.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let lower = token.to_ascii_lowercase();
+    let (num_part, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('t') {
+        (stripped, 1e12)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (stripped, 1e9)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    num_part
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("invalid value `{token}`"))
+}
+
+/// Parses a netlist deck against a technology (for MOSFET cards).
+///
+/// # Errors
+///
+/// Returns the first offending line with an explanation.
+///
+/// # Example
+///
+/// ```
+/// use pvtm_circuit::parser::parse_netlist;
+/// use pvtm_device::Technology;
+///
+/// let deck = "\
+/// * divider
+/// V1 top 0 1.0
+/// R1 top mid 1k
+/// R2 mid 0 1k
+/// ";
+/// let tech = Technology::predictive_70nm();
+/// let ckt = parse_netlist(deck, &tech)?;
+/// let sol = ckt.solve_dc()?;
+/// let mid = ckt.find_node("mid").expect("node exists");
+/// assert!((sol.voltage(mid) - 0.5).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_netlist(deck: &str, tech: &Technology) -> Result<Netlist, ParseError> {
+    let mut ckt = Netlist::new();
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with(';') {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let card = tokens[0];
+        let kind = card
+            .chars()
+            .next()
+            .expect("non-empty token")
+            .to_ascii_uppercase();
+        match kind {
+            '.' => {
+                let directive = card.to_ascii_lowercase();
+                match directive.as_str() {
+                    ".temp" => {
+                        let t = tokens
+                            .get(1)
+                            .ok_or_else(|| err(".temp needs a value".into()))
+                            .and_then(|tok| parse_value(tok).map_err(err))?;
+                        ckt.set_temperature(t);
+                    }
+                    ".end" => break,
+                    other => return Err(err(format!("unknown directive `{other}`"))),
+                }
+            }
+            'R' | 'C' | 'V' | 'I' => {
+                if tokens.len() != 4 {
+                    return Err(err(format!(
+                        "{card}: expected `name node node value`, got {} tokens",
+                        tokens.len()
+                    )));
+                }
+                let a = ckt.node(tokens[1]);
+                let b = ckt.node(tokens[2]);
+                let value = parse_value(tokens[3]).map_err(err)?;
+                match kind {
+                    'R' => {
+                        if value <= 0.0 {
+                            return Err(err(format!("{card}: resistance must be positive")));
+                        }
+                        ckt.resistor(card, a, b, value);
+                    }
+                    'C' => {
+                        if value <= 0.0 {
+                            return Err(err(format!("{card}: capacitance must be positive")));
+                        }
+                        ckt.capacitor(card, a, b, value);
+                    }
+                    'V' => {
+                        ckt.vsource(card, a, b, value);
+                    }
+                    _ => {
+                        ckt.isource(card, a, b, value);
+                    }
+                }
+            }
+            'M' => {
+                // Mname d g s b flavour w=.. l=.. [dvt=..]
+                if tokens.len() < 8 {
+                    return Err(err(format!(
+                        "{card}: expected `name d g s b nmos|pmos w=.. l=..`"
+                    )));
+                }
+                let d = ckt.node(tokens[1]);
+                let g = ckt.node(tokens[2]);
+                let s = ckt.node(tokens[3]);
+                let b = ckt.node(tokens[4]);
+                let flavour = tokens[5].to_ascii_lowercase();
+                let mut w = None;
+                let mut l = None;
+                let mut dvt = 0.0;
+                for tok in &tokens[6..] {
+                    let (key, val) = tok
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
+                    let value = parse_value(val).map_err(err)?;
+                    match key.to_ascii_lowercase().as_str() {
+                        "w" => w = Some(value),
+                        "l" => l = Some(value),
+                        "dvt" => dvt = value,
+                        other => return Err(err(format!("unknown parameter `{other}`"))),
+                    }
+                }
+                let w = w.ok_or_else(|| err(format!("{card}: missing w=")))?;
+                let l = l.ok_or_else(|| err(format!("{card}: missing l=")))?;
+                let device = match flavour.as_str() {
+                    "nmos" => Mosfet::nmos(tech, w, l),
+                    "pmos" => Mosfet::pmos(tech, w, l),
+                    other => return Err(err(format!("unknown flavour `{other}`"))),
+                }
+                .with_delta_vt(dvt);
+                ckt.mosfet(card, d, g, s, b, device);
+            }
+            other => return Err(err(format!("unknown card type `{other}`"))),
+        }
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::predictive_70nm()
+    }
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("10k").unwrap(), 10e3);
+        assert_eq!(parse_value("1.5meg").unwrap(), 1.5e6);
+        assert!((parse_value("200n").unwrap() / 200e-9 - 1.0).abs() < 1e-12);
+        assert!((parse_value("3f").unwrap() / 3e-15 - 1.0).abs() < 1e-12);
+        assert_eq!(parse_value("2.5").unwrap(), 2.5);
+        assert_eq!(parse_value("-0.4").unwrap(), -0.4);
+        assert_eq!(parse_value("1g").unwrap(), 1e9);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_and_solves_divider() {
+        let deck = "V1 top 0 2.0\nR1 top mid 3k\nR2 mid 0 1k\n";
+        let ckt = parse_netlist(deck, &tech()).unwrap();
+        let sol = ckt.solve_dc().unwrap();
+        let mid = ckt.find_node("mid").unwrap();
+        assert!((sol.voltage(mid) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_inverter_with_mosfets() {
+        let deck = "\
+* CMOS inverter
+V1 vdd 0 1.0
+V2 in 0 0.0
+MP1 out in vdd vdd pmos w=200n l=70n
+MN1 out in 0 0 nmos w=140n l=70n
+";
+        let ckt = parse_netlist(deck, &tech()).unwrap();
+        let sol = ckt.solve_dc().unwrap();
+        let out = ckt.find_node("out").unwrap();
+        assert!(sol.voltage(out) > 0.95);
+    }
+
+    #[test]
+    fn temp_directive_and_end() {
+        let deck = ".temp 350\nV1 a 0 1.0\nR1 a 0 1k\n.end\nR2 a 0 gibberish\n";
+        let ckt = parse_netlist(deck, &tech()).unwrap();
+        assert_eq!(ckt.temperature(), 350.0);
+        // .end stopped the parse before the broken line.
+        assert_eq!(ckt.elements().len(), 2);
+    }
+
+    #[test]
+    fn dvt_parameter_applies() {
+        let deck = "V1 d 0 1.0\nMN1 d d 0 0 nmos w=200n l=70n dvt=0.05\n";
+        let ckt = parse_netlist(deck, &tech()).unwrap();
+        let found = ckt.elements().iter().any(|(name, e)| {
+            name == "MN1"
+                && matches!(e, crate::netlist::Element::Mosfet { device, .. }
+                    if (device.delta_vt() - 0.05).abs() < 1e-12)
+        });
+        assert!(found, "dvt must reach the device");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let deck = "\n* comment\n; another\nV1 a 0 1.0\nR1 a 0 1k\n";
+        let ckt = parse_netlist(deck, &tech()).unwrap();
+        assert_eq!(ckt.elements().len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let deck = "V1 a 0 1.0\nR1 a 0 notanumber\n";
+        let e = parse_netlist(deck, &tech()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_card_is_rejected() {
+        let e = parse_netlist("Q1 a b c 1k\n", &tech()).unwrap_err();
+        assert!(e.message.contains("unknown card"));
+    }
+
+    #[test]
+    fn mosfet_requires_geometry() {
+        let e = parse_netlist("MN1 d g s b nmos w=100n l=70n\nMN2 d g s b nmos w=100n q=1\n", &tech())
+            .unwrap_err();
+        assert!(e.message.contains("unknown parameter"), "{}", e.message);
+        let e2 = parse_netlist("MN1 d g s b nmos w=100n dvt=0\n", &tech()).unwrap_err();
+        assert!(e2.message.contains("missing l="), "{}", e2.message);
+    }
+}

@@ -1,0 +1,149 @@
+//! Reproduction of every figure in the paper's evaluation.
+//!
+//! Each `figXX` function regenerates the data behind the corresponding
+//! figure of the paper and returns a serializable result that also prints
+//! as the table/series the paper plots. The `figures` bench target in
+//! `pvtm-bench` drives them all and writes `results/<id>.json`.
+//!
+//! | id | paper result |
+//! |----|--------------|
+//! | fig2a | cell failure probabilities vs inter-die Vt shift |
+//! | fig2b | effect of body bias on each failure mechanism |
+//! | fig2c | parametric yield vs σ(Vt_inter): self-repair vs ZBB |
+//! | fig3  | cell vs 1 KB-array leakage distributions per corner |
+//! | fig4b | failing columns in a 256 KB array: repaired vs not |
+//! | fig5a | leakage components vs body bias |
+//! | fig5b | memory-leakage spread with/without self-repair |
+//! | fig5c | leakage yield vs σ(Vt_inter) |
+//! | fig6  | max source bias for a target hold failure vs corner |
+//! | fig8  | VSB(adaptive) vs corner; hold failure opt vs adaptive |
+//! | fig9  | VSB(adaptive) and standby-power distributions |
+//! | fig10 | leakage / hold yield vs σ for zero / opt / adaptive |
+
+mod ablation;
+mod asb;
+mod repair;
+mod scaling;
+
+pub use ablation::{
+    ablation_bias_levels, ablation_dac, ablation_march, ablation_monitor, ablation_temperature,
+    BiasLevelAblation, DacAblation, MarchAblation, MonitorAblation, TemperatureAblation,
+};
+pub use asb::{
+    cell_target_for_memory, fig10, fig6, fig8, fig9, headline, Fig10, Fig6, Fig8, Fig9, Headline,
+};
+pub use scaling::{scaling, Scaling};
+pub use repair::{
+    fig2a, fig2b, fig2c, fig3, fig4b, fig5a, fig5b, fig5c, Fig2a, Fig2b, Fig2c, Fig3, Fig4b,
+    Fig5a, Fig5b, Fig5c,
+};
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Sampling effort of an experiment run.
+///
+/// `quick()` keeps everything small enough for CI-style smoke tests;
+/// `full()` is what the bench harness uses for the recorded results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Points on inter-die corner grids.
+    pub corners: usize,
+    /// Dies per population study.
+    pub dies: usize,
+    /// Cells per leakage-distribution sample.
+    pub cells: usize,
+    /// Arrays per array-leakage-distribution sample.
+    pub arrays: usize,
+    /// Points on σ(Vt_inter) sweeps.
+    pub sigmas: usize,
+}
+
+impl Effort {
+    /// Small run for tests.
+    pub fn quick() -> Self {
+        Self {
+            corners: 5,
+            dies: 24,
+            cells: 2_000,
+            arrays: 60,
+            sigmas: 3,
+        }
+    }
+
+    /// Full run for the recorded figures.
+    pub fn full() -> Self {
+        Self {
+            corners: 13,
+            dies: 250,
+            cells: 20_000,
+            arrays: 400,
+            sigmas: 6,
+        }
+    }
+}
+
+/// Directory experiment results are written to (`PVTM_RESULTS_DIR`,
+/// defaulting to `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("PVTM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serializes an experiment result to `results/<id>.json`.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn save_json<T: Serialize>(id: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{id}.json"));
+    let file = std::fs::File::create(&path)?;
+    serde_json::to_writer_pretty(file, value).map_err(std::io::Error::other)?;
+    Ok(path)
+}
+
+/// Formats a probability for the tables (engineering style).
+pub(crate) fn fmt_p(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p < 1e-12 {
+        "<1e-12".to_string()
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_presets_are_ordered() {
+        let q = Effort::quick();
+        let f = Effort::full();
+        assert!(q.corners < f.corners);
+        assert!(q.dies < f.dies);
+        assert!(q.cells < f.cells);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let dir = std::env::temp_dir().join("pvtm-test-results");
+        std::env::set_var("PVTM_RESULTS_DIR", &dir);
+        let path = save_json("unit-test", &vec![1.0, 2.0]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("2.0"));
+        std::env::remove_var("PVTM_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn probability_formatting() {
+        assert_eq!(fmt_p(0.0), "0");
+        assert_eq!(fmt_p(1e-30), "<1e-12");
+        assert!(fmt_p(3.2e-4).contains("3.20e-4"));
+    }
+}

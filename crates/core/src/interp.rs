@@ -1,0 +1,103 @@
+//! Small interpolation helpers for precomputed corner tables.
+
+/// Linear interpolation of `(xs, ys)` at `x`, clamped to the table's ends.
+///
+/// # Panics
+///
+/// Panics if the table is empty, lengths differ, or `xs` is not strictly
+/// increasing.
+///
+/// # Example
+///
+/// ```
+/// use pvtm::interp::lin_interp;
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 10.0, 40.0];
+/// assert_eq!(lin_interp(&xs, &ys, 0.5), 5.0);
+/// assert_eq!(lin_interp(&xs, &ys, -3.0), 0.0); // clamped
+/// assert_eq!(lin_interp(&xs, &ys, 9.0), 40.0); // clamped
+/// ```
+pub fn lin_interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert!(!xs.is_empty(), "empty interpolation table");
+    assert_eq!(xs.len(), ys.len(), "table length mismatch");
+    debug_assert!(
+        xs.windows(2).all(|w| w[1] > w[0]),
+        "xs must be strictly increasing"
+    );
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let i = xs.partition_point(|&v| v < x).max(1);
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ys[i - 1], ys[i]);
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// Log-domain interpolation for probabilities: interpolates `ln(y)` so
+/// curves spanning many decades (failure probabilities) stay smooth.
+/// Zero entries are floored at 1e-300.
+pub fn log_interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "table length mismatch");
+    let lys: Vec<f64> = ys.iter().map(|&y| y.max(1e-300).ln()).collect();
+    lin_interp(xs, &lys, x).exp()
+}
+
+/// Uniformly spaced grid over `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `n >= 2` and `lo < hi`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two points");
+    assert!(lo < hi, "invalid range [{lo}, {hi}]");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_and_clamps() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [10.0, 20.0, 0.0];
+        assert_eq!(lin_interp(&xs, &ys, 1.5), 15.0);
+        assert_eq!(lin_interp(&xs, &ys, 3.0), 10.0);
+        assert_eq!(lin_interp(&xs, &ys, 0.0), 10.0);
+        assert_eq!(lin_interp(&xs, &ys, 5.0), 0.0);
+        assert_eq!(lin_interp(&xs, &ys, 2.0), 20.0);
+    }
+
+    #[test]
+    fn log_interp_is_geometric() {
+        let xs = [0.0, 1.0];
+        let ys = [1e-6, 1e-2];
+        let mid = log_interp(&xs, &ys, 0.5);
+        assert!((mid / 1e-4 - 1.0).abs() < 1e-9, "mid = {mid:e}");
+    }
+
+    #[test]
+    fn log_interp_handles_zeros() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 1.0];
+        let v = log_interp(&xs, &ys, 0.5);
+        assert!((0.0..1e-100).contains(&v));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(-1.0, 1.0, 5);
+        assert_eq!(g, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! Source-bias analysis: how much standby source bias a die can take
+//! before hold failures exceed the target (paper §IV, Fig. 6).
+
+use rayon::prelude::*;
+
+use pvtm_circuit::CircuitError;
+use pvtm_device::Technology;
+use pvtm_sram::failure::HoldFailureModel;
+use pvtm_sram::{AnalysisConfig, CellSizing, Conditions, FailureAnalyzer};
+
+use crate::interp::lin_interp;
+
+/// Analyzer for the hold-failure-vs-source-bias tradeoff.
+#[derive(Debug, Clone)]
+pub struct SourceBiasAnalyzer {
+    tech: Technology,
+    fa: FailureAnalyzer,
+    vsb_cap: f64,
+}
+
+impl SourceBiasAnalyzer {
+    /// Creates an analyzer. The search cap defaults to 0.75·VDD (beyond
+    /// that the cell's retention circuit leaves the solver's comfortable
+    /// regime — and no sane design goes there).
+    pub fn new(tech: &Technology, sizing: CellSizing, analysis: AnalysisConfig) -> Self {
+        Self {
+            tech: tech.clone(),
+            fa: FailureAnalyzer::new(tech, sizing, analysis),
+            vsb_cap: 0.75 * tech.vdd(),
+        }
+    }
+
+    /// Overrides the search cap \[V\].
+    pub fn with_vsb_cap(mut self, cap: f64) -> Self {
+        assert!(
+            cap > 0.0 && cap < self.tech.vdd(),
+            "cap must lie in (0, vdd)"
+        );
+        self.vsb_cap = cap;
+        self
+    }
+
+    /// The underlying failure analyzer.
+    pub fn failure_analyzer(&self) -> &FailureAnalyzer {
+        &self.fa
+    }
+
+    /// Hold-failure probability of a cell at a corner and source bias.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn hold_failure_prob(&self, corner: f64, vsb: f64) -> Result<f64, CircuitError> {
+        let cond = Conditions::standby(&self.tech, vsb);
+        Ok(self.fa.linearize_hold(corner, &cond)?.failure_prob())
+    }
+
+    /// The largest source bias at this corner whose hold-failure
+    /// probability stays at or below `p_target` — the per-corner ceiling of
+    /// the paper's Fig. 6 (maximum at the nominal corner, falling toward
+    /// both tails).
+    ///
+    /// Returns 0 when even zero bias violates the target, and the search
+    /// cap when the target is never violated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn max_vsb(&self, corner: f64, p_target: f64) -> Result<f64, CircuitError> {
+        assert!(
+            p_target > 0.0 && p_target < 1.0,
+            "invalid target probability {p_target}"
+        );
+        // Coarse upward scan to bracket the crossing (the probability is
+        // not monotone at small vsb, so a plain bisection from 0 could
+        // latch onto the wrong side).
+        const STEPS: usize = 15;
+        let mut lo = 0.0f64;
+        let mut hi = None;
+        let mut p_lo = self.hold_failure_prob(corner, 0.0)?;
+        if p_lo > p_target {
+            return Ok(0.0);
+        }
+        for k in 1..=STEPS {
+            let v = self.vsb_cap * k as f64 / STEPS as f64;
+            let p = self.hold_failure_prob(corner, v)?;
+            if p > p_target {
+                hi = Some(v);
+                break;
+            }
+            lo = v;
+            p_lo = p;
+        }
+        let _ = p_lo;
+        let Some(mut hi) = hi else {
+            return Ok(self.vsb_cap);
+        };
+        // Refine by bisection.
+        for _ in 0..18 {
+            let mid = 0.5 * (lo + hi);
+            if self.hold_failure_prob(corner, mid)? > p_target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// The design-time `VSB(opt)`: the maximum bias at the *nominal*
+    /// corner, which a non-adaptive design would apply to every die.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn vsb_opt(&self, p_target: f64) -> Result<f64, CircuitError> {
+        self.max_vsb(0.0, p_target)
+    }
+}
+
+/// Precomputed hold models over a (corner × vsb) grid with bilinear
+/// interpolation — the fast path for per-cell retention thresholds in the
+/// BIST calibration and for population studies.
+#[derive(Debug, Clone)]
+pub struct HoldModelGrid {
+    corners: Vec<f64>,
+    vsbs: Vec<f64>,
+    /// Row-major `[corner][vsb]`.
+    models: Vec<HoldFailureModel>,
+}
+
+impl HoldModelGrid {
+    /// Builds the grid (parallel over all grid points).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first DC-solver failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both axes have at least two strictly increasing
+    /// entries.
+    pub fn build(
+        analyzer: &SourceBiasAnalyzer,
+        corners: Vec<f64>,
+        vsbs: Vec<f64>,
+    ) -> Result<Self, CircuitError> {
+        assert!(corners.len() >= 2 && vsbs.len() >= 2, "grid too small");
+        assert!(corners.windows(2).all(|w| w[1] > w[0]), "corners unsorted");
+        assert!(vsbs.windows(2).all(|w| w[1] > w[0]), "vsbs unsorted");
+        let cells: Vec<(usize, usize)> = (0..corners.len())
+            .flat_map(|ci| (0..vsbs.len()).map(move |vi| (ci, vi)))
+            .collect();
+        let models: Result<Vec<(usize, usize, HoldFailureModel)>, CircuitError> = cells
+            .par_iter()
+            .map(|&(ci, vi)| {
+                let cond = Conditions::standby(&analyzer.tech, vsbs[vi]);
+                let m = analyzer.fa.linearize_hold(corners[ci], &cond)?;
+                Ok((ci, vi, m))
+            })
+            .collect();
+        let mut sorted = models?;
+        sorted.sort_by_key(|&(ci, vi, _)| (ci, vi));
+        Ok(Self {
+            models: sorted.into_iter().map(|(_, _, m)| m).collect(),
+            corners,
+            vsbs,
+        })
+    }
+
+    /// Corner axis.
+    pub fn corners(&self) -> &[f64] {
+        &self.corners
+    }
+
+    /// Source-bias axis.
+    pub fn vsbs(&self) -> &[f64] {
+        &self.vsbs
+    }
+
+    fn model(&self, ci: usize, vi: usize) -> &HoldFailureModel {
+        &self.models[ci * self.vsbs.len() + vi]
+    }
+
+    /// Hold models along the vsb axis at an arbitrary corner
+    /// (linear interpolation of the model parameters between grid rows).
+    pub fn models_at_corner(&self, corner: f64) -> Vec<HoldFailureModel> {
+        let c = corner.clamp(self.corners[0], *self.corners.last().expect("non-empty"));
+        let i = self
+            .corners
+            .partition_point(|&v| v < c)
+            .clamp(1, self.corners.len() - 1);
+        let (c0, c1) = (self.corners[i - 1], self.corners[i]);
+        let t = if c1 > c0 { (c - c0) / (c1 - c0) } else { 0.0 };
+        (0..self.vsbs.len())
+            .map(|vi| blend(self.model(i - 1, vi), self.model(i, vi), t))
+            .collect()
+    }
+
+    /// Hold-failure probability at an arbitrary (corner, vsb).
+    pub fn failure_prob(&self, corner: f64, vsb: f64) -> f64 {
+        let models = self.models_at_corner(corner);
+        let probs: Vec<f64> = models.iter().map(|m| m.failure_prob().max(1e-300).ln()).collect();
+        lin_interp(&self.vsbs, &probs, vsb).exp().min(1.0)
+    }
+
+    /// The lowest source bias at which a specific cell (standardized
+    /// deviation vector `z`) loses retention. `None` when the cell holds
+    /// over the whole grid. Convenience wrapper over
+    /// [`Self::profile_at`] — when sweeping many cells of one die, build
+    /// the profile once instead.
+    pub fn min_vsb_for_cell(&self, corner: f64, z: &[f64; 6]) -> Option<f64> {
+        self.profile_at(corner).min_vsb(z)
+    }
+
+    /// The per-corner hold profile: the interpolated model at every vsb
+    /// grid point, reusable across all cells of one die.
+    pub fn profile_at(&self, corner: f64) -> CornerHoldProfile {
+        CornerHoldProfile {
+            vsbs: self.vsbs.clone(),
+            models: self.models_at_corner(corner),
+        }
+    }
+}
+
+/// Hold models of one die corner along the source-bias axis.
+#[derive(Debug, Clone)]
+pub struct CornerHoldProfile {
+    vsbs: Vec<f64>,
+    models: Vec<HoldFailureModel>,
+}
+
+impl CornerHoldProfile {
+    /// The lowest source bias at which the cell `z` loses retention, found
+    /// from the sign change of its hold slack along the vsb axis; `None`
+    /// when it holds over the whole grid.
+    pub fn min_vsb(&self, z: &[f64; 6]) -> Option<f64> {
+        let mut prev_slack = self.models[0].slack_at(z);
+        if prev_slack <= 0.0 {
+            return Some(self.vsbs[0]);
+        }
+        for vi in 1..self.vsbs.len() {
+            let slack = self.models[vi].slack_at(z);
+            if slack <= 0.0 {
+                let frac = prev_slack / (prev_slack - slack);
+                return Some(self.vsbs[vi - 1] + frac * (self.vsbs[vi] - self.vsbs[vi - 1]));
+            }
+            prev_slack = slack;
+        }
+        None
+    }
+
+    /// The source-bias axis.
+    pub fn vsbs(&self) -> &[f64] {
+        &self.vsbs
+    }
+}
+
+/// Linear blend of two hold models.
+fn blend(a: &HoldFailureModel, b: &HoldFailureModel, t: f64) -> HoldFailureModel {
+    let mix = |x: f64, y: f64| x + (y - x) * t;
+    let mix_model = |x: &pvtm_sram::failure::MarginModel,
+                     y: &pvtm_sram::failure::MarginModel| {
+        pvtm_sram::failure::MarginModel {
+            nominal: mix(x.nominal, y.nominal),
+            sensitivity: std::array::from_fn(|i| mix(x.sensitivity[i], y.sensitivity[i])),
+        }
+    };
+    HoldFailureModel {
+        ln_droop: mix_model(&a.ln_droop, &b.ln_droop),
+        allowed: mix_model(&a.allowed, &b.allowed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::linspace;
+
+    fn analyzer() -> SourceBiasAnalyzer {
+        let tech = Technology::predictive_70nm();
+        SourceBiasAnalyzer::new(&tech, CellSizing::default_for(&tech), AnalysisConfig::default())
+    }
+
+    #[test]
+    fn hold_prob_grows_past_the_knee() {
+        let a = analyzer();
+        let p_mid = a.hold_failure_prob(0.0, 0.45).unwrap();
+        let p_deep = a.hold_failure_prob(0.0, 0.72).unwrap();
+        assert!(
+            p_deep > p_mid * 10.0,
+            "deep bias must be much riskier: {p_mid:.2e} -> {p_deep:.2e}"
+        );
+    }
+
+    #[test]
+    fn max_vsb_peaks_at_the_nominal_corner() {
+        let a = analyzer();
+        let target = 1e-3;
+        let v_low = a.max_vsb(-0.10, target).unwrap();
+        let v_nom = a.max_vsb(0.0, target).unwrap();
+        let v_high = a.max_vsb(0.10, target).unwrap();
+        assert!(
+            v_nom >= v_low && v_nom >= v_high,
+            "fig-6 shape violated: {v_low:.3} / {v_nom:.3} / {v_high:.3}"
+        );
+        assert!(v_nom > 0.3, "nominal ceiling suspiciously low: {v_nom:.3}");
+    }
+
+    #[test]
+    fn vsb_opt_equals_nominal_ceiling() {
+        let a = analyzer();
+        let target = 1e-3;
+        assert_eq!(
+            a.vsb_opt(target).unwrap(),
+            a.max_vsb(0.0, target).unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_probability_matches_direct_evaluation() {
+        let a = analyzer();
+        let grid = HoldModelGrid::build(
+            &a,
+            linspace(-0.12, 0.12, 5),
+            linspace(0.3, 0.72, 8),
+        )
+        .unwrap();
+        // On-grid point: interpolation must agree with the direct model.
+        let direct = a.hold_failure_prob(0.0, 0.72).unwrap();
+        let gridded = grid.failure_prob(0.0, 0.72);
+        assert!(
+            (gridded.max(1e-300).ln() - direct.max(1e-300).ln()).abs() < 0.2,
+            "grid {gridded:.3e} vs direct {direct:.3e}"
+        );
+    }
+
+    #[test]
+    fn min_vsb_reflects_cell_weakness() {
+        let a = analyzer();
+        let grid = HoldModelGrid::build(
+            &a,
+            linspace(-0.12, 0.12, 3),
+            linspace(0.3, 0.72, 8),
+        )
+        .unwrap();
+        // A leaky NL combined with a weak PL (the dominant failure
+        // direction) fails earlier than a typical cell.
+        let weak = grid.min_vsb_for_cell(0.0, &[-3.0, 0.0, 2.5, 0.0, 0.0, 0.0]);
+        let typical = grid.min_vsb_for_cell(0.0, &[0.0; 6]);
+        match (weak, typical) {
+            (Some(w), Some(t)) => assert!(w < t),
+            (Some(_), None) => {} // typical never fails: fine
+            other => panic!("weak cell must fail within the grid: {other:?}"),
+        }
+    }
+}

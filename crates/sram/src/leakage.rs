@@ -1,0 +1,252 @@
+//! Standby leakage of a 6T cell and its population statistics.
+//!
+//! The cell is evaluated in the paper's standby state: word line low, bit
+//! lines precharged to VDD, the stored 1 at `VL`, the source line at
+//! `vsb`, and the NMOS body at `body_bias`. Node voltages are taken at
+//! their asymptotic values (`VL = VDD`, `VR = vsb`) — the error of that
+//! approximation is second-order in leakage ratios and it makes sampling a
+//! million-cell array practical.
+//!
+//! Per the paper's §III.F, the leakage of a cell under RDF is approximately
+//! lognormal (subthreshold leakage is exponential in the Gaussian ΔVt), and
+//! the array total is Gaussian by the central limit theorem (Eq. (2)).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{CellSizing, Conditions, SramCell, Xtor};
+use pvtm_device::{thermal_voltage, Bias, LeakageComponents, Technology};
+use pvtm_stats::Summary;
+
+/// Standby-leakage evaluator for a cell design.
+#[derive(Debug, Clone)]
+pub struct CellLeakageModel {
+    tech: Technology,
+    sizing: CellSizing,
+}
+
+/// Population mean and standard deviation of per-cell leakage \[A\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageStats {
+    /// Mean cell leakage.
+    pub mean: f64,
+    /// Standard deviation across cells (intra-die RDF only).
+    pub std_dev: f64,
+}
+
+impl CellLeakageModel {
+    /// Creates a model for the given technology and sizing.
+    pub fn new(tech: &Technology, sizing: CellSizing) -> Self {
+        sizing.validate().expect("invalid cell sizing");
+        Self {
+            tech: tech.clone(),
+            sizing,
+        }
+    }
+
+    /// Standby leakage decomposition of one cell sample.
+    ///
+    /// `cond.body_bias` applies to the NMOS devices only (as in the paper);
+    /// `cond.vsb` is the raised source-line voltage.
+    pub fn standby(&self, cell: &SramCell, cond: &Conditions) -> LeakageComponents {
+        let vdd = cond.vdd;
+        let vsb = cond.vsb;
+        let vbb = cond.body_bias;
+        let t = cond.temp_k;
+
+        // Asymptotic standby node voltages.
+        let vl = vdd; // stored 1
+        let vr = vsb; // stored 0 rides on the source line
+        let vbl = vdd; // precharged bit lines
+        let vwl = 0.0;
+
+        let nl = cell.device(Xtor::Nl);
+        let nr = cell.device(Xtor::Nr);
+        let pl = cell.device(Xtor::Pl);
+        let pr = cell.device(Xtor::Pr);
+        let axl = cell.device(Xtor::Axl);
+        let axr = cell.device(Xtor::Axr);
+
+        // --- Subthreshold (channel) components of the off devices.
+        // NL: gate at VR=vsb, drain at VL=vdd, source at vsb, body at vbb.
+        let sub_nl = nl.ids(Bias::new(vr, vl, vsb, vbb), t).max(0.0);
+        // PR: gate at VL=vdd (off), source at vdd, drain at VR=vsb.
+        let sub_pr = (-pr.ids(Bias::new(vl, vr, vdd, vdd), t)).max(0.0);
+        // AXR: gate at WL=0, drain at BR=vdd, source at VR=vsb.
+        let sub_axr = axr.ids(Bias::new(vwl, vbl, vr, vbb), t).max(0.0);
+        // AXL: both ends at vdd — no channel leakage; NR and PL are on with
+        // zero Vds — no channel leakage.
+        let subthreshold = sub_nl + sub_pr + sub_axr;
+
+        // --- Gate tunnelling.
+        // On devices with full oxide drive: NR (gate vdd, channel at vsb)
+        // and PL (source vdd, gate at vsb).
+        let gate_on = nr.gate_leak(vdd - vsb) + pl.gate_leak(vdd - vsb);
+        // Off devices: edge tunnelling at the drain overlap (30 % weight,
+        // consistent with `Mosfet::off_leakage`).
+        let gate_off = 0.3 * (nl.gate_leak(vdd - vr) + axr.gate_leak(vbl - vwl));
+        let gate = gate_on + gate_off;
+
+        // --- Junction band-to-band tunnelling at reverse-biased drains.
+        // NMOS junctions see (node − body); PMOS see (body − node).
+        let junction = nl.junction_btbt(vl - vbb)
+            + nr.junction_btbt(vr - vbb)
+            + axl.junction_btbt(vbl - vbb)
+            + axr.junction_btbt(vbl - vbb)
+            + pr.junction_btbt(vdd - vr)
+            + pl.junction_btbt(vdd - vl);
+
+        // --- Forward body diodes of the NMOS devices under FBB.
+        let diode = nl.body_diode(vbb - vsb, t)
+            + nr.body_diode(vbb - vsb, t)
+            + axl.body_diode(vbb - vsb, t)
+            + axr.body_diode(vbb - vsb, t);
+
+        LeakageComponents {
+            subthreshold,
+            gate,
+            junction,
+            diode,
+        }
+    }
+
+    /// Analytic lognormal sigma of the dominant (subthreshold) leakage of a
+    /// single pull-down transistor: `σ_ln = σ_Vt / (n·vT)`.
+    pub fn sigma_ln(&self, cond: &Conditions) -> f64 {
+        let dev = SramCell::with_sizing(&self.tech, self.sizing).device(Xtor::Nl);
+        dev.sigma_vt() / (dev.params().n_sub * thermal_voltage(cond.temp_k))
+    }
+
+    /// Samples one cell's total standby leakage with RDF deviations drawn
+    /// from `rng` on top of an inter-die shift.
+    pub fn sample_cell(
+        &self,
+        vt_inter: f64,
+        cond: &Conditions,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let mut cell = SramCell::with_sizing(&self.tech, self.sizing);
+        let vm = pvtm_device::VariationModel::new(0.0);
+        let dvt: [f64; 6] =
+            std::array::from_fn(|i| vm.sample_device(&cell.device(Xtor::ALL[i]), rng));
+        cell.set_deviations(dvt);
+        let cell = cell.with_inter_die_shift(vt_inter);
+        self.standby(&cell, cond).total()
+    }
+
+    /// Population statistics of per-cell leakage at a corner, by sampling
+    /// `n` cells.
+    pub fn population_stats(
+        &self,
+        vt_inter: f64,
+        cond: &Conditions,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> LeakageStats {
+        let s: Summary = (0..n)
+            .map(|_| self.sample_cell(vt_inter, cond, rng))
+            .collect();
+        LeakageStats {
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (Technology, CellLeakageModel) {
+        let tech = Technology::predictive_70nm();
+        let m = CellLeakageModel::new(&tech, CellSizing::default_for(&tech));
+        (tech, m)
+    }
+
+    #[test]
+    fn nominal_cell_leakage_in_nanoamp_regime() {
+        let (tech, m) = model();
+        let cell = SramCell::nominal(&tech);
+        let l = m.standby(&cell, &Conditions::active(&tech)).total();
+        assert!(
+            l > 1e-9 && l < 100e-9,
+            "cell leakage should be nA-scale, got {l:.3e}"
+        );
+    }
+
+    #[test]
+    fn low_vt_cells_leak_more() {
+        let (tech, m) = model();
+        let cond = Conditions::active(&tech);
+        let low = m.standby(&SramCell::nominal(&tech).with_inter_die_shift(-0.1), &cond);
+        let nom = m.standby(&SramCell::nominal(&tech), &cond);
+        let high = m.standby(&SramCell::nominal(&tech).with_inter_die_shift(0.1), &cond);
+        assert!(low.total() > 3.0 * nom.total());
+        assert!(high.total() < nom.total() / 3.0);
+    }
+
+    #[test]
+    fn rbb_cuts_subthreshold_but_grows_junction() {
+        let (tech, m) = model();
+        let cell = SramCell::nominal(&tech);
+        let zbb = m.standby(&cell, &Conditions::active(&tech));
+        let rbb = m.standby(&cell, &Conditions::active(&tech).with_body_bias(-0.4));
+        assert!(rbb.subthreshold < zbb.subthreshold);
+        assert!(rbb.junction > zbb.junction);
+    }
+
+    #[test]
+    fn fbb_grows_subthreshold() {
+        let (tech, m) = model();
+        let cell = SramCell::nominal(&tech);
+        let zbb = m.standby(&cell, &Conditions::active(&tech));
+        let fbb = m.standby(&cell, &Conditions::active(&tech).with_body_bias(0.4));
+        assert!(fbb.subthreshold > zbb.subthreshold);
+        assert!(fbb.junction < zbb.junction);
+    }
+
+    #[test]
+    fn source_bias_cuts_total_leakage_strongly() {
+        let (tech, m) = model();
+        let cell = SramCell::nominal(&tech);
+        let l0 = m.standby(&cell, &Conditions::standby(&tech, 0.0)).total();
+        let l3 = m.standby(&cell, &Conditions::standby(&tech, 0.3)).total();
+        assert!(
+            l3 < 0.5 * l0,
+            "VSB = 0.3 V must cut leakage substantially: {l3:.3e} vs {l0:.3e}"
+        );
+    }
+
+    #[test]
+    fn population_is_skewed_like_a_lognormal() {
+        let (tech, m) = model();
+        let cond = Conditions::active(&tech);
+        let mut rng = pvtm_stats::rng::substream(41, 0);
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| m.sample_cell(0.0, &cond, &mut rng))
+            .collect();
+        let s = Summary::from_slice(&samples);
+        // Positive skew: mean above median.
+        let median = pvtm_stats::histogram::quantile(&samples, 0.5);
+        assert!(s.mean() > median, "mean {:.3e} vs median {median:.3e}", s.mean());
+        // Coefficient of variation should be substantial (RDF-driven).
+        assert!(s.std_dev() / s.mean() > 0.1);
+    }
+
+    #[test]
+    fn sigma_ln_is_order_one() {
+        let (tech, m) = model();
+        let s = m.sigma_ln(&Conditions::active(&tech));
+        assert!(s > 0.4 && s < 1.5, "sigma_ln = {s}");
+    }
+
+    #[test]
+    fn population_stats_match_direct_summary() {
+        let (tech, m) = model();
+        let cond = Conditions::active(&tech);
+        let mut rng = pvtm_stats::rng::substream(42, 0);
+        let stats = m.population_stats(0.0, &cond, 2000, &mut rng);
+        assert!(stats.mean > 0.0 && stats.std_dev > 0.0);
+        assert!(stats.std_dev < stats.mean * 2.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! 6T SRAM cell and array analysis under process variation.
+//!
+//! This crate implements the statistical SRAM methodology of the paper's
+//! §II (following its refs \[3\] and \[4\]):
+//!
+//! - [`cell`] — the 6T cell: sizing, per-transistor threshold deviations
+//!   (inter-die shift + RDF), and netlist construction on `pvtm-circuit`.
+//! - [`analysis`] — the four parametric-failure metrics: read margin
+//!   (`V_TRIPRD − V_READ`), static write margin, access-time margin, and
+//!   hold margin at a raised source bias; plus butterfly static-noise-margin
+//!   extraction.
+//! - [`failure`] — failure-probability estimation per mechanism: a fast
+//!   linearized (sensitivity) estimator and an importance-sampled
+//!   Monte-Carlo cross-check.
+//! - [`leakage`] — standby cell leakage decomposition vs. body bias and
+//!   source bias; lognormal cell-population statistics.
+//! - `array` — array organization, column-redundancy memory-failure model
+//!   (paper Eq. (1) machinery) and CLT array-leakage statistics (Eq. (2)).
+//! - [`optimizer`] — cell sizing search that equalizes the four failure
+//!   probabilities at zero body bias (the premise of the paper's Fig. 2b).
+//!
+//! # Example
+//!
+//! ```
+//! use pvtm_device::Technology;
+//! use pvtm_sram::{SramCell, analysis::{CellAnalysis, AnalysisConfig}, Conditions};
+//!
+//! let tech = Technology::predictive_70nm();
+//! let cell = SramCell::nominal(&tech);
+//! let analysis = CellAnalysis::new(&tech, AnalysisConfig::default());
+//! let m = analysis.margins(&cell, &Conditions::active(&tech))?;
+//! // A nominal cell has healthy margins on every mechanism.
+//! assert!(m.read > 0.0 && m.write > 0.0 && m.access > 0.0 && m.hold > 0.0);
+//! # Ok::<(), pvtm_circuit::CircuitError>(())
+//! ```
+
+pub mod analysis;
+pub mod array;
+pub mod cell;
+pub mod failure;
+pub mod leakage;
+pub mod optimizer;
+
+pub use analysis::{AnalysisConfig, CellAnalysis, Margins};
+pub use array::{ArrayOrganization, ArrayYield};
+pub use cell::{CellSizing, Conditions, SramCell, Xtor};
+pub use failure::{FailureAnalyzer, FailureProbs};
+pub use leakage::CellLeakageModel;
+pub use optimizer::SizeOptimizer;

@@ -1,0 +1,209 @@
+//! Cell sizing optimizer.
+//!
+//! The paper's Fig. 2b notes the cell is "sized to have equal probabilities
+//! for different failure events at ZBB" — that balance is what makes
+//! adaptive body bias a pure win (it trades a dominant mechanism against a
+//! negligible one at each corner). This module searches the width space to
+//! find that balance, and also supports minimizing the overall failure
+//! probability under an area budget.
+
+use pvtm_circuit::CircuitError;
+
+use crate::analysis::AnalysisConfig;
+use crate::cell::{CellSizing, Conditions};
+use crate::failure::FailureAnalyzer;
+use pvtm_device::Technology;
+
+/// Result of a sizing search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingResult {
+    /// The selected sizing.
+    pub sizing: CellSizing,
+    /// Objective value at the optimum (lower is better).
+    pub objective: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Coordinate-descent sizing search over `(wpd, wax, wpu)`.
+#[derive(Debug, Clone)]
+pub struct SizeOptimizer {
+    tech: Technology,
+    config: AnalysisConfig,
+    cond: Conditions,
+    max_evaluations: usize,
+}
+
+impl SizeOptimizer {
+    /// Creates an optimizer that evaluates candidates at the given
+    /// conditions (typically nominal corner, zero body bias).
+    pub fn new(tech: &Technology, config: AnalysisConfig, cond: Conditions) -> Self {
+        Self {
+            tech: tech.clone(),
+            config,
+            cond,
+            max_evaluations: 60,
+        }
+    }
+
+    /// Caps the number of objective evaluations (each costs a full
+    /// linearized failure analysis).
+    pub fn with_max_evaluations(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one evaluation");
+        self.max_evaluations = n;
+        self
+    }
+
+    /// Log-domain failure probabilities of a candidate sizing.
+    fn log_probs(&self, sizing: CellSizing) -> Result<[f64; 4], CircuitError> {
+        let fa = FailureAnalyzer::new(&self.tech, sizing, self.config);
+        let p = fa.failure_probs(0.0, &self.cond)?.as_array();
+        // Floor avoids -inf for mechanisms that are effectively impossible.
+        Ok(p.map(|x| x.max(1e-30).ln()))
+    }
+
+    /// Spread of the four log-probabilities (the balance objective).
+    fn balance_objective(&self, sizing: CellSizing) -> Result<f64, CircuitError> {
+        let lp = self.log_probs(sizing)?;
+        let mean = lp.iter().sum::<f64>() / 4.0;
+        Ok(lp.iter().map(|x| (x - mean).powi(2)).sum::<f64>().sqrt())
+    }
+
+    /// Searches for widths that equalize the four failure probabilities at
+    /// the evaluation conditions, starting from `start`.
+    ///
+    /// Coordinate descent with multiplicative steps on each width, bounds
+    /// `[0.5×, 2×]` of the starting value, shrinking the step when no move
+    /// improves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures encountered during evaluation.
+    pub fn equalize_failures(&self, start: CellSizing) -> Result<SizingResult, CircuitError> {
+        self.search(start, |s| self.balance_objective(s))
+    }
+
+    /// Searches for widths minimizing the overall failure probability with
+    /// total gate area constrained to at most `area_budget` (candidates
+    /// over budget are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures encountered during evaluation.
+    pub fn minimize_failure(
+        &self,
+        start: CellSizing,
+        area_budget: f64,
+    ) -> Result<SizingResult, CircuitError> {
+        self.search(start, |s| {
+            if s.area() > area_budget {
+                return Ok(f64::INFINITY);
+            }
+            let lp = self.log_probs(s)?;
+            // Overall failure is dominated by the worst mechanism.
+            Ok(lp.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)))
+        })
+    }
+
+    fn search(
+        &self,
+        start: CellSizing,
+        mut objective: impl FnMut(CellSizing) -> Result<f64, CircuitError>,
+    ) -> Result<SizingResult, CircuitError> {
+        let mut best = start;
+        let mut best_obj = objective(best)?;
+        let mut evals = 1usize;
+        let mut step = 1.18f64;
+        let bounds = [
+            (start.wpd * 0.5, start.wpd * 2.0),
+            (start.wax * 0.5, start.wax * 2.0),
+            (start.wpu * 0.5, start.wpu * 2.0),
+        ];
+
+        while evals < self.max_evaluations && step > 1.02 {
+            let mut improved = false;
+            for coord in 0..3 {
+                for &factor in &[step, 1.0 / step] {
+                    if evals >= self.max_evaluations {
+                        break;
+                    }
+                    let mut cand = best;
+                    let (w, (lo, hi)) = match coord {
+                        0 => (&mut cand.wpd, bounds[0]),
+                        1 => (&mut cand.wax, bounds[1]),
+                        _ => (&mut cand.wpu, bounds[2]),
+                    };
+                    *w = (*w * factor).clamp(lo, hi);
+                    if cand == best {
+                        continue;
+                    }
+                    let obj = objective(cand)?;
+                    evals += 1;
+                    if obj < best_obj {
+                        best = cand;
+                        best_obj = obj;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                step = step.sqrt();
+            }
+        }
+        Ok(SizingResult {
+            sizing: best,
+            objective: best_obj,
+            evaluations: evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equalize_reduces_spread() {
+        let tech = Technology::predictive_70nm();
+        let cond = Conditions::active(&tech);
+        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
+            .with_max_evaluations(18);
+        let start = CellSizing::default_for(&tech);
+        let start_obj = opt.balance_objective(start).unwrap();
+        let result = opt.equalize_failures(start).unwrap();
+        assert!(
+            result.objective <= start_obj,
+            "optimizer must not regress: {} -> {}",
+            start_obj,
+            result.objective
+        );
+        result.sizing.validate().unwrap();
+        assert!(result.evaluations <= 18);
+    }
+
+    #[test]
+    fn minimize_respects_area_budget() {
+        let tech = Technology::predictive_70nm();
+        let cond = Conditions::active(&tech);
+        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
+            .with_max_evaluations(14);
+        let start = CellSizing::default_for(&tech);
+        let budget = start.area() * 1.2;
+        let result = opt.minimize_failure(start, budget).unwrap();
+        assert!(result.sizing.area() <= budget * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn bounds_clamp_widths() {
+        let tech = Technology::predictive_70nm();
+        let cond = Conditions::active(&tech);
+        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
+            .with_max_evaluations(30);
+        let start = CellSizing::default_for(&tech);
+        let result = opt.equalize_failures(start).unwrap();
+        assert!(result.sizing.wpd >= start.wpd * 0.5 - 1e-15);
+        assert!(result.sizing.wpd <= start.wpd * 2.0 + 1e-15);
+        assert!(result.sizing.wax >= start.wax * 0.5 - 1e-15);
+        assert!(result.sizing.wpu <= start.wpu * 2.0 + 1e-15);
+    }
+}

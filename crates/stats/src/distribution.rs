@@ -1,0 +1,224 @@
+//! Thin Normal / LogNormal distribution types.
+//!
+//! The paper models the per-cell leakage as lognormal (its §III.F) and the
+//! array leakage as normal via the central limit theorem (Eq. (2)). These
+//! types collect cdf / quantile / moment / sampling functionality in one
+//! place so those derivations read like the paper.
+
+use rand::Rng;
+use rand_distr::Distribution as _;
+use serde::{Deserialize, Serialize};
+
+use crate::special::{norm_cdf, norm_ppf};
+
+/// Normal distribution `N(mean, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or either parameter is non-finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            mean.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid normal parameters: mean={mean}, sigma={sigma}"
+        );
+        Self { mean, sigma }
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        norm_cdf((x - self.mean) / self.sigma)
+    }
+
+    /// Quantile function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn ppf(&self, p: f64) -> f64 {
+        if self.sigma == 0.0 {
+            assert!(p > 0.0 && p < 1.0, "ppf requires p in (0,1)");
+            return self.mean;
+        }
+        self.mean + self.sigma * norm_ppf(p)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let g: f64 = rand_distr::StandardNormal.sample(rng);
+        self.mean + self.sigma * g
+    }
+}
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid lognormal parameters: mu={mu}, sigma={sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// Creates a lognormal with the given *linear-domain* mean and standard
+    /// deviation — the natural parametrization when matching measured
+    /// leakage moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `std_dev < 0`.
+    pub fn from_moments(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "lognormal mean must be positive, got {mean}");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Parameter `mu` of the underlying normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Parameter `sigma` of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Linear-domain mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Linear-domain variance.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    /// Linear-domain standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if self.sigma == 0.0 {
+            return if x.ln() >= self.mu { 1.0 } else { 0.0 };
+        }
+        norm_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Quantile function.
+    pub fn ppf(&self, p: f64) -> f64 {
+        if self.sigma == 0.0 {
+            assert!(p > 0.0 && p < 1.0, "ppf requires p in (0,1)");
+            return self.mu.exp();
+        }
+        (self.mu + self.sigma * norm_ppf(p)).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let g: f64 = rand_distr::StandardNormal.sample(rng);
+        (self.mu + self.sigma * g).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    #[test]
+    fn normal_cdf_ppf_roundtrip() {
+        let n = Normal::new(1.2, 0.3);
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = n.ppf(p);
+            assert!((n.cdf(x) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_normal_is_a_point_mass() {
+        let n = Normal::new(2.0, 0.0);
+        assert_eq!(n.cdf(1.999), 0.0);
+        assert_eq!(n.cdf(2.0), 1.0);
+        assert_eq!(n.ppf(0.3), 2.0);
+    }
+
+    #[test]
+    fn normal_sampling_moments() {
+        let n = Normal::new(-0.5, 2.0);
+        let mut rng = crate::rng::substream(4, 0);
+        let s: Summary = (0..60_000).map(|_| n.sample(&mut rng)).collect();
+        assert!((s.mean() + 0.5).abs() < 0.05);
+        assert!((s.std_dev() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_moment_matching_roundtrip() {
+        let ln = LogNormal::from_moments(10.0, 4.0);
+        assert!((ln.mean() - 10.0).abs() < 1e-10);
+        assert!((ln.std_dev() - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lognormal_cdf_against_normal() {
+        let ln = LogNormal::new(0.0, 1.0);
+        // Median of LogNormal(0,1) is e^0 = 1.
+        assert!((ln.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(ln.cdf(0.0), 0.0);
+        assert_eq!(ln.cdf(-5.0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_sampling_moments() {
+        let ln = LogNormal::from_moments(5.0, 1.5);
+        let mut rng = crate::rng::substream(8, 0);
+        let s: Summary = (0..80_000).map(|_| ln.sample(&mut rng)).collect();
+        assert!((s.mean() - 5.0).abs() < 0.05, "mean={}", s.mean());
+        assert!((s.std_dev() - 1.5).abs() < 0.08, "sd={}", s.std_dev());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lognormal_rejects_nonpositive_mean() {
+        let _ = LogNormal::from_moments(0.0, 1.0);
+    }
+}

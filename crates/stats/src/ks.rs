@@ -1,0 +1,135 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used by the test-suite (and available to library users) to check that
+//! sampled leakage / variation populations match their claimed analytic
+//! distributions — e.g. that array leakage really is Gaussian by the central
+//! limit theorem (paper Eq. (2)).
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_n(x) - F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// True when the fit is *not* rejected at the given significance level.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Kolmogorov survival function `Q(λ) = 2 Σ (-1)^{k-1} e^{-2k²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 0.1 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `xs` against the continuous CDF `cdf`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use pvtm_stats::ks::ks_test;
+/// use pvtm_stats::special::norm_cdf;
+/// use rand::Rng;
+///
+/// let mut rng = pvtm_stats::rng::substream(5, 0);
+/// let xs: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+/// // U(0,1) against its own CDF: fit accepted.
+/// let r = ks_test(&xs, |x| x.clamp(0.0, 1.0));
+/// assert!(r.accepts(0.001));
+/// // U(0,1) against a normal CDF: fit rejected.
+/// let bad = ks_test(&xs, norm_cdf);
+/// assert!(!bad.accepts(0.001));
+/// ```
+pub fn ks_test(xs: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!xs.is_empty(), "KS test needs samples");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let d_plus = (i as f64 + 1.0) / nf - f;
+        let d_minus = f - i as f64 / nf;
+        d = d.max(d_plus).max(d_minus);
+    }
+    let sqrt_n = nf.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::norm_cdf;
+    use rand_distr::Distribution;
+
+    #[test]
+    fn normal_samples_accepted_against_normal_cdf() {
+        let mut rng = crate::rng::substream(21, 0);
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| rand_distr::StandardNormal.sample(&mut rng))
+            .collect();
+        let r = ks_test(&xs, norm_cdf);
+        assert!(r.accepts(0.001), "D={} p={}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn shifted_samples_rejected() {
+        let mut rng = crate::rng::substream(22, 0);
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| {
+                let g: f64 = rand_distr::StandardNormal.sample(&mut rng);
+                g + 0.3
+            })
+            .collect();
+        let r = ks_test(&xs, norm_cdf);
+        assert!(!r.accepts(0.001), "should reject a 0.3-sigma shift");
+    }
+
+    #[test]
+    fn statistic_is_in_unit_interval() {
+        let xs = [0.2, 0.4, 0.9];
+        let r = ks_test(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(r.statistic >= 0.0 && r.statistic <= 1.0);
+        assert!(r.p_value >= 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_monotone() {
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let v = kolmogorov_sf(i as f64 * 0.1);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+}

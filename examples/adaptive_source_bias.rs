@@ -1,0 +1,69 @@
+//! The self-adaptive source-bias calibration of one die, step by step
+//! (paper §IV, Fig. 7).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_source_bias
+//! ```
+
+use pvtm::adaptive::{AsbConfig, AsbEngine, StandbyLeakageGrid};
+use pvtm::interp::linspace;
+use pvtm::source_bias::{HoldModelGrid, SourceBiasAnalyzer};
+use pvtm_bist::{Dac, MarchTest};
+use pvtm_device::Technology;
+use pvtm_sram::{AnalysisConfig, ArrayOrganization, CellSizing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::predictive_70nm();
+    let sizing = CellSizing::default_for(&tech);
+    let analyzer = SourceBiasAnalyzer::new(&tech, sizing, AnalysisConfig::default());
+
+    println!("building hold-model and leakage grids (a few seconds)...");
+    let corners = linspace(-0.12, 0.12, 5);
+    let vsbs = linspace(0.30, 0.74, 10);
+    let hold = HoldModelGrid::build(&analyzer, corners.clone(), vsbs.clone())?;
+    let leak = StandbyLeakageGrid::build(&tech, sizing, corners, vsbs, 200);
+    let engine = AsbEngine::new(
+        hold,
+        leak,
+        AsbConfig {
+            org: ArrayOrganization::with_capacity_kib(2, 0.05),
+            dac: Dac::new(5, 0.74),
+            march: MarchTest::march_c_minus(),
+            use_guard: 0.01,
+            backoff_codes: 1,
+        },
+    );
+    let spares = engine.config().org.redundant_cols;
+
+    for corner in [-0.08, 0.0, 0.08] {
+        let mut rng = pvtm_stats::rng::substream(2024, (corner * 1e3) as i64 as u64);
+        let mut die = engine.build_die(corner, &mut rng);
+        println!(
+            "\n== die at Vt_inter {corner:+.2} V ({} retention-marginal cells) ==",
+            die.fault_count()
+        );
+        let outcome = engine.calibrate(&mut die);
+        println!("calibration trajectory (spare columns: {spares}):");
+        for step in &outcome.steps {
+            let verdict = if step.faulty_columns <= spares { "pass" } else { "STOP" };
+            println!(
+                "  code {:>2} -> VSB {:.3} V : {:>2} faulty columns [{verdict}]",
+                step.code, step.vsb, step.faulty_columns
+            );
+        }
+        println!(
+            "VSB(adaptive) = {:.3} V (limit code {}, applied code {} after back-off)",
+            outcome.vsb, outcome.limit_code, outcome.code
+        );
+        let cells = engine.config().org.cells();
+        let p0 = engine.leakage_grid().standby_power(corner, 0.0, cells);
+        let pa = engine.leakage_grid().standby_power(corner, outcome.vsb, cells);
+        println!(
+            "standby power: {:.2} uW -> {:.2} uW ({:.1}x saving)",
+            p0 * 1e6,
+            pa * 1e6,
+            p0 / pa
+        );
+    }
+    Ok(())
+}

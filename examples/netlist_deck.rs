@@ -1,0 +1,82 @@
+//! Drive the circuit simulator from a SPICE-like text deck: DC operating
+//! point with per-element currents, then a transient of the same cell
+//! flipping during a write.
+//!
+//! ```sh
+//! cargo run --release --example netlist_deck
+//! ```
+
+use pvtm_circuit::{dc, parse_netlist, TransientOptions};
+use pvtm_device::Technology;
+
+const CELL_DECK: &str = "\
+* 6T SRAM cell biased for a write-0 through the left access transistor
+.temp 300
+V1  vdd 0 1.0
+VWL wl  0 1.0
+VBL bl  0 0.0
+VBR br  0 1.0
+MPL vl vr vdd vdd pmos w=100n l=70n
+MNL vl vr 0   0   nmos w=200n l=70n
+MPR vr vl vdd vdd pmos w=100n l=70n
+MNR vr vl 0   0   nmos w=200n l=70n
+MAL vl wl bl  0   nmos w=140n l=70n
+MAR vr wl br  0   nmos w=140n l=70n
+CL  vl 0 2f
+CR  vr 0 2f
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::predictive_70nm();
+    let ckt = parse_netlist(CELL_DECK, &tech)?;
+
+    println!("== DC operating point (write condition) ==");
+    let sol = ckt.solve_dc()?;
+    for node in ["vl", "vr"] {
+        let id = ckt.find_node(node).expect("node exists");
+        println!("  v({node}) = {:.4} V", sol.voltage(id));
+    }
+    println!("  per-element currents:");
+    for (name, i) in dc::operating_point(&ckt, &sol) {
+        if i.abs() > 1e-9 {
+            println!("    {name:<4} {:>9.2} uA", i * 1e6);
+        }
+    }
+    let vl = ckt.find_node("vl").expect("node exists");
+    let vr = ckt.find_node("vr").expect("node exists");
+    println!(
+        "  -> the bit line won: VL = {:.3} V, VR = {:.3} V (cell flipped to 0/1)",
+        sol.voltage(vl),
+        sol.voltage(vr)
+    );
+
+    println!("\n== transient: the flip trajectory from the stored-1 state ==");
+    // Start from the opposite (stored 1 at VL) state and watch the write
+    // pull it over.
+    let num_unknowns = ckt.num_nodes() - 1 + 4; // free nodes + 4 source branches
+    let mut state = vec![0.0; num_unknowns];
+    for (node, v) in [("vdd", 1.0), ("wl", 1.0), ("bl", 0.0), ("br", 1.0), ("vl", 1.0), ("vr", 0.0)]
+    {
+        let id = ckt.find_node(node).expect("node exists");
+        state[id.index() - 1] = v;
+    }
+    let res = pvtm_circuit::transient::solve(
+        &ckt,
+        &TransientOptions::new(1e-12, 200e-12).with_initial_state(state),
+    )?;
+    for &t in &[0.0, 20e-12, 50e-12, 100e-12, 200e-12] {
+        let idx = (t / 1e-12) as usize;
+        let idx = idx.min(res.times().len() - 1);
+        println!(
+            "  t = {:>5.0} ps: VL = {:.3} V, VR = {:.3} V",
+            res.times()[idx] * 1e12,
+            res.trace(vl)[idx],
+            res.trace(vr)[idx]
+        );
+    }
+    match res.crossing_time(vl, 0.5, true) {
+        Some(t) => println!("  cell flip (VL below VDD/2) at t = {:.1} ps", t * 1e12),
+        None => println!("  cell did not flip within the window"),
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the SOCC 2006 reproduction workspace.
+//!
+//! Re-exports every subsystem crate so the root-level `examples/` and
+//! `tests/` can reach the whole stack through one dependency. Library users
+//! should depend on the individual crates (most commonly [`pvtm`]) instead.
+
+pub use pvtm;
+pub use pvtm_bist;
+pub use pvtm_circuit;
+pub use pvtm_device;
+pub use pvtm_sram;
+pub use pvtm_stats;

@@ -1,0 +1,122 @@
+//! End-to-end integration of the self-adaptive source-bias scheme:
+//! hold models → retention-fault injection → BIST March calibration →
+//! standby power, asserting the paper's §IV claims across the stack.
+
+use pvtm::adaptive::{AsbConfig, AsbEngine, StandbyLeakageGrid};
+use pvtm::interp::linspace;
+use pvtm::source_bias::{HoldModelGrid, SourceBiasAnalyzer};
+use pvtm_bist::{Dac, MarchTest};
+use pvtm_device::Technology;
+use pvtm_sram::{AnalysisConfig, ArrayOrganization, CellSizing};
+
+fn engine() -> (AsbEngine, SourceBiasAnalyzer) {
+    let tech = Technology::predictive_70nm();
+    let sizing = CellSizing::default_for(&tech);
+    let analyzer = SourceBiasAnalyzer::new(&tech, sizing, AnalysisConfig::default());
+    let corners = linspace(-0.12, 0.12, 4);
+    let vsbs = linspace(0.30, 0.74, 8);
+    let hold = HoldModelGrid::build(&analyzer, corners.clone(), vsbs.clone()).expect("grid");
+    let leak = StandbyLeakageGrid::build(&tech, sizing, corners, vsbs, 120);
+    let cfg = AsbConfig {
+        org: ArrayOrganization::new(64, 64, 3),
+        dac: Dac::new(5, 0.74),
+        march: MarchTest::march_c_minus(),
+        use_guard: 0.01,
+        backoff_codes: 1,
+    };
+    (AsbEngine::new(hold, leak, cfg), analyzer)
+}
+
+#[test]
+fn calibration_never_exceeds_the_redundancy_budget() {
+    let (engine, _) = engine();
+    let spares = engine.config().org.redundant_cols;
+    for (i, corner) in [-0.10, -0.05, 0.0, 0.05, 0.10].iter().enumerate() {
+        let mut rng = pvtm_stats::rng::substream(100, i as u64);
+        let mut die = engine.build_die(*corner, &mut rng);
+        let outcome = engine.calibrate(&mut die);
+        assert!(
+            engine.faulty_columns_at(&mut die, outcome.vsb) <= spares,
+            "corner {corner}: budget violated at VSB(adaptive) = {}",
+            outcome.vsb
+        );
+    }
+}
+
+#[test]
+fn adaptive_bias_tracks_the_analytic_ceiling_shape() {
+    // The BIST-chosen VSB across corners must reproduce the fig-6 shape:
+    // highest near nominal, lower at both tails.
+    let (engine, _) = engine();
+    let median_vsb = |corner: f64| -> f64 {
+        let mut v: Vec<f64> = (0..5)
+            .map(|k| {
+                let mut rng = pvtm_stats::rng::substream(200, (corner * 1e3) as i64 as u64 ^ k);
+                let mut die = engine.build_die(corner, &mut rng);
+                engine.calibrate(&mut die).vsb
+            })
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[2]
+    };
+    let low = median_vsb(-0.12);
+    let nom = median_vsb(0.0);
+    let high = median_vsb(0.12);
+    assert!(
+        nom >= low && nom >= high,
+        "adaptive ceiling shape violated: {low:.3} / {nom:.3} / {high:.3}"
+    );
+    assert!(high < nom, "high-Vt corner must force a lower bias");
+}
+
+#[test]
+fn standby_power_ordering_zero_vs_adaptive() {
+    let (engine, analyzer) = engine();
+    let p_target = pvtm::experiments::cell_target_for_memory(&engine.config().org, 1e-3);
+    let vsb_opt = analyzer.max_vsb(0.0, p_target).expect("vsb_opt");
+    let pop = engine.run_population(12, 0.06, vsb_opt, 77);
+    for die in &pop {
+        assert!(die.power_adaptive <= die.power_zero * 1.0001);
+        assert!(die.power_opt <= die.power_zero * 1.0001);
+        assert!(die.power_zero > 0.0);
+    }
+    // Aggregate saving must be substantial (the point of the scheme).
+    let total_zero: f64 = pop.iter().map(|d| d.power_zero).sum();
+    let total_adp: f64 = pop.iter().map(|d| d.power_adaptive).sum();
+    assert!(
+        total_adp < 0.7 * total_zero,
+        "adaptive bias must cut standby power: {total_adp:.3e} vs {total_zero:.3e}"
+    );
+}
+
+#[test]
+fn adaptive_hold_survival_beats_fixed_opt() {
+    let (engine, analyzer) = engine();
+    let p_target = pvtm::experiments::cell_target_for_memory(&engine.config().org, 1e-3);
+    let vsb_opt = analyzer.max_vsb(0.0, p_target).expect("vsb_opt");
+    let spares = engine.config().org.redundant_cols;
+    let pop = engine.run_population(16, 0.08, vsb_opt, 99);
+    let fail = |f: &dyn Fn(&pvtm::adaptive::DieEvaluation) -> usize| -> usize {
+        pop.iter().filter(|d| f(d) > spares).count()
+    };
+    let fail_opt = fail(&|d| d.faulty_cols_opt);
+    let fail_adp = fail(&|d| d.faulty_cols_adaptive);
+    assert!(
+        fail_adp <= fail_opt,
+        "adaptive {fail_adp} hold-failing dies vs opt {fail_opt}"
+    );
+}
+
+#[test]
+fn retention_faults_only_fire_above_their_threshold() {
+    // Cross-crate consistency: the fault thresholds injected from the hold
+    // models must behave monotonically inside the BIST memory.
+    let (engine, _) = engine();
+    let mut rng = pvtm_stats::rng::substream(300, 0);
+    let mut die = engine.build_die(-0.08, &mut rng);
+    let f_low = engine.faulty_columns_at(&mut die, 0.30);
+    let f_mid = engine.faulty_columns_at(&mut die, 0.55);
+    let f_high = engine.faulty_columns_at(&mut die, 0.74);
+    assert!(f_low <= f_mid && f_mid <= f_high, "{f_low} / {f_mid} / {f_high}");
+    assert!(f_high > 0, "a low-Vt die must have retention faults at deep bias");
+}
