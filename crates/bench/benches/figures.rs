@@ -16,9 +16,7 @@ fn wants(filter: &Option<String>, id: &str) -> bool {
 fn main() {
     // Criterion-style CLI compatibility: ignore --bench and take the first
     // free argument as a substring filter.
-    let filter: Option<String> = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"));
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with("--"));
     let effort = effort_from_env();
     println!("== pvtm figure reproduction (effort: {effort:?}) ==\n");
 
@@ -126,8 +124,5 @@ fn main() {
         println!("{r}");
         exp::save_json("ablation-temperature", &r).expect("write");
     }
-    println!(
-        "done; JSON written to {}",
-        exp::results_dir().display()
-    );
+    println!("done; JSON written to {}", exp::results_dir().display());
 }

@@ -75,6 +75,66 @@ fn bench_failure_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Monte-Carlo per-sample hot path, before and after the compiled
+/// templates: per-sample netlist construction vs patched warm-started
+/// templates on a persistent evaluator.
+fn bench_mc_hot_path(c: &mut Criterion) {
+    let tech = Technology::predictive_70nm();
+    let analysis = pvtm_sram::CellAnalysis::new(&tech, AnalysisConfig::default());
+    let base = SramCell::nominal(&tech);
+    let fa = FailureAnalyzer::new(
+        &tech,
+        CellSizing::default_for(&tech),
+        AnalysisConfig::default(),
+    );
+    let cond = Conditions::standby(&tech, 0.3);
+    // Distinct samples rotated per iteration, so the warm path has to track
+    // a moving solution like a real Monte-Carlo stream.
+    let samples: [[f64; 6]; 4] = [
+        [0.1, -0.1, 0.2, -0.2, 0.1, -0.1],
+        [-0.3, 0.2, -0.1, 0.4, -0.2, 0.3],
+        [0.5, 0.1, -0.4, 0.0, 0.3, -0.2],
+        [-0.1, -0.3, 0.1, 0.2, -0.4, 0.0],
+    ];
+
+    let sigmas: [f64; 6] = std::array::from_fn(|k| base.sigma_vt(pvtm_sram::Xtor::ALL[k]));
+    let mut group = c.benchmark_group("mc_hot_path");
+    let mut i = 0usize;
+    group.bench_function("margins_reference_netlists", |b| {
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            let dvt: [f64; 6] = std::array::from_fn(|k| sigmas[k] * samples[i][k]);
+            let mut cell = base.clone();
+            cell.set_deviations(black_box(dvt));
+            black_box(analysis.margins(&cell, &cond).expect("margins"))
+        })
+    });
+    let mut cold = fa.evaluator();
+    cold.set_warm_start(false);
+    let mut i = 0usize;
+    group.bench_function("margins_compiled_cold", |b| {
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            black_box(
+                fa.margins_at_with(&mut cold, black_box(&samples[i]), 0.0, &cond)
+                    .expect("margins"),
+            )
+        })
+    });
+    let mut warm = fa.evaluator();
+    let mut i = 0usize;
+    group.bench_function("margins_compiled_warm", |b| {
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            black_box(
+                fa.margins_at_with(&mut warm, black_box(&samples[i]), 0.0, &cond)
+                    .expect("margins"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_bist(c: &mut Criterion) {
     c.bench_function("bist/march_c_minus_16kcells", |b| {
         b.iter_batched(
@@ -98,9 +158,7 @@ fn bench_stats(c: &mut Criterion) {
     });
     c.bench_function("stats/importance_sampling_10k", |b| {
         let is = ImportanceSampler::new(vec![3.0, 1.0, 0.5]);
-        b.iter(|| {
-            black_box(is.probability(10_000, 7, |z| z[0] + 0.3 * z[1] > 3.0))
-        })
+        b.iter(|| black_box(is.probability(10_000, 7, |z| z[0] + 0.3 * z[1] > 3.0)))
     });
 }
 
@@ -109,6 +167,7 @@ criterion_group!(
     bench_device,
     bench_circuit,
     bench_failure_analysis,
+    bench_mc_hot_path,
     bench_bist,
     bench_stats
 );

@@ -260,9 +260,9 @@ impl MemoryModel {
         self.faults
             .get(&(row, col))
             .map(|kinds| {
-                kinds.iter().any(
-                    |k| matches!(k, FaultKind::Retention { min_vsb } if self.vsb >= *min_vsb),
-                )
+                kinds
+                    .iter()
+                    .any(|k| matches!(k, FaultKind::Retention { min_vsb } if self.vsb >= *min_vsb))
             })
             .unwrap_or(false)
     }
@@ -375,7 +375,10 @@ mod tests {
         m.inject(Fault {
             row: 0,
             col: 0,
-            kind: FaultKind::AddressAlias { to_row: 2, to_col: 2 },
+            kind: FaultKind::AddressAlias {
+                to_row: 2,
+                to_col: 2,
+            },
         });
         m.write(0, 0, true);
         // The addressed cell was never written; the alias target was.
@@ -392,7 +395,10 @@ mod tests {
         m.inject(Fault {
             row: 1,
             col: 1,
-            kind: FaultKind::AddressAlias { to_row: 3, to_col: 3 },
+            kind: FaultKind::AddressAlias {
+                to_row: 3,
+                to_col: 3,
+            },
         });
         let r = MarchTest::mats_plus().run(&mut m);
         assert!(!r.passed(), "MATS+ must catch decoder aliasing");
@@ -405,7 +411,10 @@ mod tests {
         m.inject(Fault {
             row: 0,
             col: 0,
-            kind: FaultKind::AddressAlias { to_row: 0, to_col: 0 },
+            kind: FaultKind::AddressAlias {
+                to_row: 0,
+                to_col: 0,
+            },
         });
     }
 

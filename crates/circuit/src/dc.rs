@@ -1,5 +1,16 @@
 //! DC operating-point solver: damped Newton–Raphson with Gmin continuation
 //! and source-stepping fallback.
+//!
+//! The solver comes in two flavours. The plain [`solve`]/[`solve_from`]
+//! entry points allocate their scratch buffers per call — fine for one-off
+//! solves. Hot paths (Monte-Carlo loops, sweeps) should hold a
+//! [`DcWorkspace`] and call [`solve_with`]/[`solve_from_with`], which reuse
+//! the Jacobian, residual and state buffers across solves and accumulate
+//! [`SolverStats`]. See also [`crate::template::CircuitTemplate`], which
+//! additionally keeps the netlist itself alive across solves and
+//! warm-starts Newton from the previous solution.
+
+use std::sync::Arc;
 
 use crate::linalg::Matrix;
 use crate::netlist::{CircuitError, Element, Netlist, NodeId};
@@ -41,6 +52,102 @@ impl DcOptions {
         self.initial.push((node, volts));
         self
     }
+
+    /// Overwrites the guess for `node` in place (adds it if absent) —
+    /// the allocation-free counterpart of [`DcOptions::guess`] for
+    /// templates that update guesses every solve.
+    pub fn set_guess(&mut self, node: NodeId, volts: f64) {
+        for (n, v) in &mut self.initial {
+            if *n == node {
+                *v = volts;
+                return;
+            }
+        }
+        self.initial.push((node, volts));
+    }
+}
+
+/// Counters accumulated by a [`DcWorkspace`] across solves.
+///
+/// `warm_hits / warm_attempts` is the warm-start hit rate; `fallbacks`
+/// counts solves that needed the damped retry or the source ramp on top of
+/// plain Gmin continuation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Completed solves (converged operating points).
+    pub solves: u64,
+    /// Total Newton iterations, across all continuation stages and solves.
+    pub newton_iterations: u64,
+    /// Warm-start Newton attempts (seeded from a previous solution).
+    pub warm_attempts: u64,
+    /// Warm-start attempts that converged without a cold restart.
+    pub warm_hits: u64,
+    /// Cold solves (Gmin continuation from the initial guess).
+    pub cold_solves: u64,
+    /// Cold solves that needed the heavily damped retry.
+    pub damped_retries: u64,
+    /// Cold solves that fell through to the source-stepping ramp.
+    pub source_ramps: u64,
+}
+
+impl SolverStats {
+    /// Warm-start hit rate in `[0, 1]`; 1.0 when no warm start was tried.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            1.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Merges another set of counters into this one (for per-thread stats).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.newton_iterations += other.newton_iterations;
+        self.warm_attempts += other.warm_attempts;
+        self.warm_hits += other.warm_hits;
+        self.cold_solves += other.cold_solves;
+        self.damped_retries += other.damped_retries;
+        self.source_ramps += other.source_ramps;
+    }
+}
+
+/// Reusable scratch buffers for Newton iterations.
+///
+/// Holding one of these across solves removes every per-solve heap
+/// allocation from the Newton loop: the Jacobian, residual, update and
+/// line-search backup vectors are sized once and reused. Not thread-safe —
+/// use one workspace per thread.
+#[derive(Debug, Clone, Default)]
+pub struct DcWorkspace {
+    jac: Matrix,
+    res: Vec<f64>,
+    rhs: Vec<f64>,
+    x_old: Vec<f64>,
+    /// Counters accumulated by every solve run through this workspace.
+    pub stats: SolverStats,
+}
+
+impl DcWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes the scratch buffers for a system of `n` unknowns.
+    fn ensure(&mut self, n: usize) {
+        if self.jac.n() != n {
+            self.jac = Matrix::zeros(n);
+            self.res = vec![0.0; n];
+            self.rhs = vec![0.0; n];
+            self.x_old = vec![0.0; n];
+        }
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
 }
 
 /// A converged DC operating point.
@@ -48,10 +155,18 @@ impl DcOptions {
 pub struct DcSolution {
     pub(crate) state: Vec<f64>,
     pub(crate) num_free_nodes: usize,
-    branch_names: Vec<String>,
+    branch_names: Arc<[String]>,
 }
 
 impl DcSolution {
+    pub(crate) fn new(state: Vec<f64>, num_free_nodes: usize, branch_names: Arc<[String]>) -> Self {
+        Self {
+            state,
+            num_free_nodes,
+            branch_names,
+        }
+    }
+
     /// Voltage of a node \[V\]. Ground reads 0.
     pub fn voltage(&self, node: NodeId) -> f64 {
         if node.is_ground() {
@@ -78,11 +193,13 @@ impl DcSolution {
 }
 
 /// Shared equation assembler for DC and transient analyses.
+///
+/// Construction is allocation-free: voltage-source branch rows are laid out
+/// sequentially after the free nodes, so only a count is needed.
 pub(crate) struct System<'a> {
     netlist: &'a Netlist,
     pub(crate) num_free_nodes: usize,
     pub(crate) num_unknowns: usize,
-    vsource_rows: Vec<usize>,
 }
 
 /// Backward-Euler companion data for transient steps.
@@ -101,23 +218,14 @@ impl<'a> System<'a> {
             .iter()
             .filter(|(_, e)| matches!(e, Element::Vsource { .. }))
             .count();
-        let mut vsource_rows = Vec::with_capacity(num_vsources);
-        let mut row = num_free_nodes;
-        for (_, e) in netlist.elements() {
-            if matches!(e, Element::Vsource { .. }) {
-                vsource_rows.push(row);
-                row += 1;
-            }
-        }
         Self {
             netlist,
             num_free_nodes,
             num_unknowns: num_free_nodes + num_vsources,
-            vsource_rows,
         }
     }
 
-    pub(crate) fn branch_names(&self) -> Vec<String> {
+    pub(crate) fn branch_names(&self) -> Arc<[String]> {
         self.netlist
             .elements()
             .iter()
@@ -152,13 +260,16 @@ impl<'a> System<'a> {
 
     /// Assembles the residual `f(x)` and Jacobian `df/dx` at state `x`.
     ///
-    /// `gmin` adds a conductance from every free node to ground. When
-    /// `companion` is provided, capacitors are stamped with their
-    /// backward-Euler companion model; otherwise they are open circuits.
+    /// `gmin` adds a conductance from every free node to ground.
+    /// `vsource_scale` multiplies every voltage-source value (the
+    /// source-stepping knob; 1.0 for a normal solve). When `companion` is
+    /// provided, capacitors are stamped with their backward-Euler companion
+    /// model; otherwise they are open circuits.
     pub(crate) fn assemble(
         &self,
         x: &[f64],
         gmin: f64,
+        vsource_scale: f64,
         companion: Option<&Companion<'_>>,
         jac: &mut Matrix,
         res: &mut [f64],
@@ -197,7 +308,9 @@ impl<'a> System<'a> {
                     }
                 }
                 Element::Vsource { pos, neg, volts } => {
-                    let row = self.vsource_rows[vsrc_idx];
+                    // Branch rows are laid out sequentially after the free
+                    // nodes, in element order.
+                    let row = self.num_free_nodes + vsrc_idx;
                     let i_branch = x[row];
                     vsrc_idx += 1;
                     // The source delivers i_branch into `pos`.
@@ -205,8 +318,8 @@ impl<'a> System<'a> {
                     Self::kcl(res, *neg, -i_branch);
                     Self::jac_add(jac, *pos, row, 1.0);
                     Self::jac_add(jac, *neg, row, -1.0);
-                    // Constraint: v(pos) - v(neg) - V = 0.
-                    res[row] = self.v(x, *pos) - self.v(x, *neg) - volts;
+                    // Constraint: v(pos) - v(neg) - scale·V = 0.
+                    res[row] = self.v(x, *pos) - self.v(x, *neg) - volts * vsource_scale;
                     if !pos.is_ground() {
                         jac.add(row, pos.index() - 1, 1.0);
                     }
@@ -219,12 +332,8 @@ impl<'a> System<'a> {
                     Self::kcl(res, *to, *amps);
                 }
                 Element::Mosfet { d, g, s, b, device } => {
-                    let bias = Bias::new(
-                        self.v(x, *g),
-                        self.v(x, *d),
-                        self.v(x, *s),
-                        self.v(x, *b),
-                    );
+                    let bias =
+                        Bias::new(self.v(x, *g), self.v(x, *d), self.v(x, *s), self.v(x, *b));
                     let id = device.ids(bias, temp);
                     // The channel draws `id` out of the drain node and
                     // returns it at the source node.
@@ -280,49 +389,57 @@ impl<'a> System<'a> {
         res.iter().fold(0.0f64, |m, r| m.max(r.abs()))
     }
 
-    /// Runs damped Newton at a fixed Gmin from the given state.
+    /// Runs damped Newton at a fixed Gmin from the given state, using the
+    /// workspace's scratch buffers.
     ///
     /// Returns the residual norm achieved; the state is updated in place.
     pub(crate) fn newton(
         &self,
         x: &mut [f64],
         gmin: f64,
+        vsource_scale: f64,
         companion: Option<&Companion<'_>>,
         opts: &DcOptions,
+        ws: &mut DcWorkspace,
     ) -> Result<f64, CircuitError> {
         let n = self.num_unknowns;
-        let mut jac = Matrix::zeros(n);
-        let mut res = vec![0.0; n];
-        let mut rhs = vec![0.0; n];
+        ws.ensure(n);
+        let DcWorkspace {
+            jac,
+            res,
+            rhs,
+            x_old,
+            stats,
+        } = ws;
 
-        self.assemble(x, gmin, companion, &mut jac, &mut res);
-        let mut norm = self.kcl_norm(&res);
+        self.assemble(x, gmin, vsource_scale, companion, jac, res);
+        let mut norm = self.kcl_norm(res);
 
         for iter in 0..opts.max_iterations {
             if norm < opts.current_tol {
                 return Ok(norm);
             }
+            stats.newton_iterations += 1;
             // Solve J Δx = -f.
             for i in 0..n {
                 rhs[i] = -res[i];
             }
-            jac.solve_in_place(&mut rhs)
+            jac.solve_in_place(rhs)
                 .map_err(|e| CircuitError::SingularMatrix { column: e.column })?;
 
             // Damp node-voltage updates.
             let mut scale = 1.0f64;
-            for (i, dv) in rhs.iter().enumerate().take(self.num_free_nodes) {
+            for dv in rhs.iter().take(self.num_free_nodes) {
                 if dv.abs() * scale > opts.max_step {
                     scale = opts.max_step / dv.abs();
                 }
-                let _ = i;
             }
 
             // Line search: halve the step until the residual improves (or
             // accept the last halving).
             let mut step = scale;
             let mut accepted = false;
-            let x_old: Vec<f64> = x.to_vec();
+            x_old.copy_from_slice(x);
             for _ in 0..8 {
                 for i in 0..n {
                     x[i] = x_old[i] + step * rhs[i];
@@ -331,8 +448,8 @@ impl<'a> System<'a> {
                 for xi in x.iter_mut().take(self.num_free_nodes) {
                     *xi = xi.clamp(-10.0, 10.0);
                 }
-                self.assemble(x, gmin, companion, &mut jac, &mut res);
-                let new_norm = self.kcl_norm(&res);
+                self.assemble(x, gmin, vsource_scale, companion, jac, res);
+                let new_norm = self.kcl_norm(res);
                 if new_norm < norm || new_norm < opts.current_tol {
                     norm = new_norm;
                     accepted = true;
@@ -342,7 +459,7 @@ impl<'a> System<'a> {
             }
             if !accepted {
                 // Accept the smallest step anyway; Newton often recovers.
-                norm = self.kcl_norm(&res);
+                norm = self.kcl_norm(res);
             }
             let _ = iter;
         }
@@ -363,39 +480,68 @@ impl<'a> System<'a> {
 /// (factor-100 steps), warm-starting each stage. If that fails, a source
 /// ramp (25 % → 100 % of every voltage source) is attempted on top.
 ///
+/// Allocates a fresh [`DcWorkspace`] per call; hot loops should hold one
+/// and use [`solve_with`] instead.
+///
 /// # Errors
 ///
 /// [`CircuitError::EmptyCircuit`] for a netlist with no unknowns;
 /// [`CircuitError::NoConvergence`] / [`CircuitError::SingularMatrix`] when
 /// both strategies fail.
 pub fn solve(netlist: &Netlist, opts: &DcOptions) -> Result<DcSolution, CircuitError> {
+    solve_with(netlist, opts, &mut DcWorkspace::new())
+}
+
+/// [`solve`] with caller-provided scratch buffers (no per-solve
+/// allocations beyond the returned solution).
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`].
+pub fn solve_with(
+    netlist: &Netlist,
+    opts: &DcOptions,
+    ws: &mut DcWorkspace,
+) -> Result<DcSolution, CircuitError> {
     let sys = System::new(netlist);
     if sys.num_unknowns == 0 {
         return Err(CircuitError::EmptyCircuit);
     }
-    let mut x = initial_state(&sys, opts);
+    let mut x = vec![0.0; sys.num_unknowns];
+    init_state(&mut x, opts);
+    cold_solve(&sys, &mut x, opts, ws)?;
+    ws.stats.solves += 1;
+    Ok(DcSolution::new(x, sys.num_free_nodes, sys.branch_names()))
+}
 
-    if gmin_continuation(&sys, &mut x, opts).is_err() {
-        // Heavily damped retry: small steps ride out fold regions where
-        // full Newton oscillates (e.g. a cell losing bistability).
-        let damped = DcOptions {
-            max_step: 0.05,
-            max_iterations: 400,
-            ..opts.clone()
-        };
-        x = initial_state(&sys, opts);
-        if gmin_continuation(&sys, &mut x, &damped).is_err() {
-            // Source-stepping fallback.
-            x = initial_state(&sys, opts);
-            source_ramp(netlist, &sys, &mut x, &damped)?;
-        }
+/// The full cold-start strategy on a pre-initialized state: Gmin
+/// continuation, then a heavily damped retry, then a source ramp.
+pub(crate) fn cold_solve(
+    sys: &System<'_>,
+    x: &mut [f64],
+    opts: &DcOptions,
+    ws: &mut DcWorkspace,
+) -> Result<(), CircuitError> {
+    ws.stats.cold_solves += 1;
+    if gmin_continuation(sys, x, opts, 1.0, ws).is_ok() {
+        return Ok(());
     }
-
-    Ok(DcSolution {
-        state: x,
-        num_free_nodes: sys.num_free_nodes,
-        branch_names: sys.branch_names(),
-    })
+    // Heavily damped retry: small steps ride out fold regions where
+    // full Newton oscillates (e.g. a cell losing bistability).
+    ws.stats.damped_retries += 1;
+    let damped = DcOptions {
+        max_step: 0.05,
+        max_iterations: 400,
+        ..opts.clone()
+    };
+    init_state(x, opts);
+    if gmin_continuation(sys, x, &damped, 1.0, ws).is_ok() {
+        return Ok(());
+    }
+    // Source-stepping fallback.
+    ws.stats.source_ramps += 1;
+    init_state(x, opts);
+    source_ramp(sys, x, &damped, ws)
 }
 
 /// Solves starting from a previous solution's state (warm start).
@@ -412,17 +558,36 @@ pub fn solve_from(
     opts: &DcOptions,
     state: &[f64],
 ) -> Result<DcSolution, CircuitError> {
+    solve_from_with(netlist, opts, state, &mut DcWorkspace::new())
+}
+
+/// [`solve_from`] with caller-provided scratch buffers.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`].
+///
+/// # Panics
+///
+/// Panics if `state` has the wrong length for this netlist.
+pub fn solve_from_with(
+    netlist: &Netlist,
+    opts: &DcOptions,
+    state: &[f64],
+    ws: &mut DcWorkspace,
+) -> Result<DcSolution, CircuitError> {
     let sys = System::new(netlist);
     assert_eq!(state.len(), sys.num_unknowns, "warm-start state length");
     let mut x = state.to_vec();
-    match sys.newton(&mut x, opts.gmin_final, None, opts) {
-        Ok(_) => Ok(DcSolution {
-            state: x,
-            num_free_nodes: sys.num_free_nodes,
-            branch_names: sys.branch_names(),
-        }),
+    ws.stats.warm_attempts += 1;
+    match sys.newton(&mut x, opts.gmin_final, 1.0, None, opts, ws) {
+        Ok(_) => {
+            ws.stats.warm_hits += 1;
+            ws.stats.solves += 1;
+            Ok(DcSolution::new(x, sys.num_free_nodes, sys.branch_names()))
+        }
         // Warm start failed: fall back to the full strategy.
-        Err(_) => solve(netlist, opts),
+        Err(_) => solve_with(netlist, opts, ws),
     }
 }
 
@@ -438,15 +603,14 @@ pub fn sweep_vsource(
     values: &[f64],
     opts: &DcOptions,
 ) -> Result<Vec<DcSolution>, CircuitError> {
-    let mut out = Vec::with_capacity(values.len());
-    let mut prev_state: Option<Vec<f64>> = None;
+    let mut ws = DcWorkspace::new();
+    let mut out: Vec<DcSolution> = Vec::with_capacity(values.len());
     for &v in values {
         netlist.set_vsource(source, v)?;
-        let sol = match &prev_state {
-            Some(s) => solve_from(netlist, opts, s)?,
-            None => solve(netlist, opts)?,
+        let sol = match out.last() {
+            Some(prev) => solve_from_with(netlist, opts, prev.state(), &mut ws)?,
+            None => solve_with(netlist, opts, &mut ws)?,
         };
-        prev_state = Some(sol.state.clone());
         out.push(sol);
     }
     Ok(out)
@@ -455,11 +619,13 @@ pub fn sweep_vsource(
 /// Per-element currents at a converged operating point \[A\] — the
 /// operating-point report of a classic SPICE `.op` card.
 ///
+/// Element names are borrowed from the netlist (nothing is cloned).
+///
 /// Conventions: resistors report the current flowing `a → b`; voltage
 /// sources report their branch current (positive = delivering out of the
 /// positive terminal); current sources report their programmed value;
 /// MOSFETs report the drain current; capacitors carry no DC current.
-pub fn operating_point(netlist: &Netlist, sol: &DcSolution) -> Vec<(String, f64)> {
+pub fn operating_point<'a>(netlist: &'a Netlist, sol: &DcSolution) -> Vec<(&'a str, f64)> {
     let v = |n: NodeId| sol.voltage(n);
     netlist
         .elements()
@@ -470,34 +636,35 @@ pub fn operating_point(netlist: &Netlist, sol: &DcSolution) -> Vec<(String, f64)
                 Element::Capacitor { .. } => 0.0,
                 Element::Vsource { .. } => sol.branch_current(name).unwrap_or(0.0),
                 Element::Isource { amps, .. } => *amps,
-                Element::Mosfet { d, g, s, b, device } => device.ids(
-                    Bias::new(v(*g), v(*d), v(*s), v(*b)),
-                    netlist.temperature(),
-                ),
+                Element::Mosfet { d, g, s, b, device } => {
+                    device.ids(Bias::new(v(*g), v(*d), v(*s), v(*b)), netlist.temperature())
+                }
             };
-            (name.clone(), i)
+            (name.as_str(), i)
         })
         .collect()
 }
 
-fn initial_state(sys: &System<'_>, opts: &DcOptions) -> Vec<f64> {
-    let mut x = vec![0.0; sys.num_unknowns];
+/// Zeroes the state and applies the initial guesses from the options.
+pub(crate) fn init_state(x: &mut [f64], opts: &DcOptions) {
+    x.fill(0.0);
     for &(node, v) in &opts.initial {
         if !node.is_ground() {
             x[node.index() - 1] = v;
         }
     }
-    x
 }
 
-fn gmin_continuation(
+pub(crate) fn gmin_continuation(
     sys: &System<'_>,
     x: &mut [f64],
     opts: &DcOptions,
+    vsource_scale: f64,
+    ws: &mut DcWorkspace,
 ) -> Result<(), CircuitError> {
     let mut gmin = opts.gmin_start;
     loop {
-        sys.newton(x, gmin, None, opts)?;
+        sys.newton(x, gmin, vsource_scale, None, opts, ws)?;
         if gmin <= opts.gmin_final {
             return Ok(());
         }
@@ -505,31 +672,16 @@ fn gmin_continuation(
     }
 }
 
+/// Source stepping via the assembler's `vsource_scale` knob: every source
+/// is ramped 25 % → 100 % without cloning or editing the netlist.
 fn source_ramp(
-    netlist: &Netlist,
     sys: &System<'_>,
     x: &mut [f64],
     opts: &DcOptions,
+    ws: &mut DcWorkspace,
 ) -> Result<(), CircuitError> {
-    // Work on a scaled copy of the netlist.
-    let mut scaled = netlist.clone();
-    let originals: Vec<(usize, f64)> = netlist
-        .elements()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, (_, e))| match e {
-            Element::Vsource { volts, .. } => Some((i, *volts)),
-            _ => None,
-        })
-        .collect();
     for &alpha in &[0.25, 0.5, 0.75, 1.0] {
-        for &(idx, v) in &originals {
-            let name = scaled.elements()[idx].0.clone();
-            scaled.set_vsource(&name, v * alpha)?;
-        }
-        let sys_scaled = System::new(&scaled);
-        debug_assert_eq!(sys_scaled.num_unknowns, sys.num_unknowns);
-        gmin_continuation(&sys_scaled, x, opts)?;
+        gmin_continuation(sys, x, opts, alpha, ws)?;
     }
     Ok(())
 }
@@ -667,7 +819,7 @@ mod tests {
         let sys = System::new(&ckt);
         let mut jac = Matrix::zeros(sys.num_unknowns);
         let mut res = vec![0.0; sys.num_unknowns];
-        sys.assemble(sol.state(), opts.gmin_final, None, &mut jac, &mut res);
+        sys.assemble(sol.state(), opts.gmin_final, 1.0, None, &mut jac, &mut res);
         assert!(sys.kcl_norm(&res) < 1e-9);
     }
 
@@ -700,7 +852,7 @@ mod tests {
         ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
         let sol = ckt.solve_dc().unwrap();
         let op = operating_point(&ckt, &sol);
-        let get = |n: &str| op.iter().find(|(name, _)| name == n).unwrap().1;
+        let get = |n: &str| op.iter().find(|(name, _)| *name == n).unwrap().1;
         // Series chain: all three elements carry 0.5 mA.
         assert!((get("V1") - 0.5e-3).abs() < 1e-8);
         assert!((get("R1") - 0.5e-3).abs() < 1e-8);
@@ -719,5 +871,78 @@ mod tests {
         let cold = solve(&ckt, &opts).unwrap();
         let warm = solve_from(&ckt, &opts, cold.state()).unwrap();
         assert!((warm.voltage(mid) - cold.voltage(mid)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // The same circuit solved through one workspace twice must agree
+        // with independent fresh solves, and the stats must add up.
+        let tech = Technology::predictive_70nm();
+        let mut ckt = Netlist::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        ckt.resistor("RL", vdd, out, 50e3);
+        ckt.mosfet(
+            "MN",
+            out,
+            vdd,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::nmos(&tech, 200e-9, tech.lmin()),
+        );
+        let opts = DcOptions::default();
+        let fresh = solve(&ckt, &opts).unwrap();
+        let mut ws = DcWorkspace::new();
+        let a = solve_with(&ckt, &opts, &mut ws).unwrap();
+        let b = solve_with(&ckt, &opts, &mut ws).unwrap();
+        assert_eq!(a.voltage(out), fresh.voltage(out));
+        assert_eq!(b.voltage(out), fresh.voltage(out));
+        assert_eq!(ws.stats.solves, 2);
+        assert_eq!(ws.stats.cold_solves, 2);
+        assert!(ws.stats.newton_iterations > 0);
+    }
+
+    #[test]
+    fn source_ramp_scaling_matches_explicit_netlist() {
+        // Assembling with vsource_scale = α must equal assembling a netlist
+        // whose sources were explicitly scaled by α.
+        let mut ckt = Netlist::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", top, Netlist::GROUND, 2.0);
+        ckt.resistor("R1", top, mid, 3e3);
+        ckt.resistor("R2", mid, Netlist::GROUND, 1e3);
+        let mut scaled = ckt.clone();
+        scaled.set_vsource("V1", 2.0 * 0.25).unwrap();
+
+        let sys = System::new(&ckt);
+        let sys_scaled = System::new(&scaled);
+        let x = vec![0.3, 0.1, 0.0];
+        let n = sys.num_unknowns;
+        let (mut ja, mut jb) = (Matrix::zeros(n), Matrix::zeros(n));
+        let (mut ra, mut rb) = (vec![0.0; n], vec![0.0; n]);
+        sys.assemble(&x, 1e-12, 0.25, None, &mut ja, &mut ra);
+        sys_scaled.assemble(&x, 1e-12, 1.0, None, &mut jb, &mut rb);
+        assert_eq!(ra, rb);
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn stats_track_warm_starts() {
+        let mut ckt = Netlist::new();
+        let top = ckt.node("top");
+        ckt.vsource("V1", top, Netlist::GROUND, 1.0);
+        ckt.resistor("R1", top, Netlist::GROUND, 1e3);
+        let opts = DcOptions::default();
+        let mut ws = DcWorkspace::new();
+        let cold = solve_with(&ckt, &opts, &mut ws).unwrap();
+        let _warm = solve_from_with(&ckt, &opts, cold.state(), &mut ws).unwrap();
+        assert_eq!(ws.stats.warm_attempts, 1);
+        assert_eq!(ws.stats.warm_hits, 1);
+        assert!((ws.stats.warm_hit_rate() - 1.0).abs() < 1e-15);
+        let mut total = SolverStats::default();
+        total.merge(&ws.stats);
+        assert_eq!(total, ws.stats);
     }
 }

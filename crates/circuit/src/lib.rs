@@ -36,9 +36,11 @@ pub mod dc;
 pub mod linalg;
 pub mod netlist;
 pub mod parser;
+pub mod template;
 pub mod transient;
 
-pub use dc::{DcOptions, DcSolution};
+pub use dc::{DcOptions, DcSolution, DcWorkspace, SolverStats};
 pub use netlist::{CircuitError, Element, Netlist, NodeId};
 pub use parser::{parse_netlist, ParseError};
+pub use template::{CircuitTemplate, MosfetSlot, VsourceSlot};
 pub use transient::{TransientOptions, TransientResult};

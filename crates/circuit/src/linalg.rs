@@ -5,7 +5,7 @@
 //! workspace free of numerical dependencies.
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     n: usize,
     data: Vec<f64>,

@@ -193,6 +193,12 @@ impl Netlist {
         &self.elements
     }
 
+    /// Mutable access to one element by its index in [`Self::elements`] —
+    /// the string-free patch path used by compiled circuit templates.
+    pub(crate) fn element_mut(&mut self, idx: usize) -> &mut Element {
+        &mut self.elements[idx].1
+    }
+
     /// Adds a resistor.
     ///
     /// # Panics
@@ -340,6 +346,8 @@ mod tests {
             iterations: 50,
         };
         assert!(e.to_string().contains("did not converge"));
-        assert!(CircuitError::EmptyCircuit.to_string().contains("no unknowns"));
+        assert!(CircuitError::EmptyCircuit
+            .to_string()
+            .contains("no unknowns"));
     }
 }

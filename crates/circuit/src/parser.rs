@@ -293,8 +293,11 @@ MN1 out in 0 0 nmos w=140n l=70n
 
     #[test]
     fn mosfet_requires_geometry() {
-        let e = parse_netlist("MN1 d g s b nmos w=100n l=70n\nMN2 d g s b nmos w=100n q=1\n", &tech())
-            .unwrap_err();
+        let e = parse_netlist(
+            "MN1 d g s b nmos w=100n l=70n\nMN2 d g s b nmos w=100n q=1\n",
+            &tech(),
+        )
+        .unwrap_err();
         assert!(e.message.contains("unknown parameter"), "{}", e.message);
         let e2 = parse_netlist("MN1 d g s b nmos w=100n dvt=0\n", &tech()).unwrap_err();
         assert!(e2.message.contains("missing l="), "{}", e2.message);

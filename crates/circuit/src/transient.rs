@@ -4,7 +4,7 @@
 //! entirely adequate for the bit-line discharge and cell-flip waveforms the
 //! SRAM analyses need (smooth exponential-ish trajectories, no oscillators).
 
-use crate::dc::{Companion, DcOptions, System};
+use crate::dc::{Companion, DcOptions, DcWorkspace, System};
 use crate::netlist::{CircuitError, Netlist, NodeId};
 
 /// Options for a transient run.
@@ -133,12 +133,20 @@ pub fn solve(netlist: &Netlist, opts: &TransientOptions) -> Result<TransientResu
     record(0.0, &state, &mut times, &mut traces);
 
     let mut prev = state.clone();
+    let mut ws = DcWorkspace::new();
     for k in 1..=steps {
         let companion = Companion {
             dt: opts.dt,
             prev: &prev,
         };
-        sys.newton(&mut state, opts.newton.gmin_final, Some(&companion), &opts.newton)?;
+        sys.newton(
+            &mut state,
+            opts.newton.gmin_final,
+            1.0,
+            Some(&companion),
+            &opts.newton,
+            &mut ws,
+        )?;
         record(k as f64 * opts.dt, &state, &mut times, &mut traces);
         prev.copy_from_slice(&state);
     }

@@ -53,8 +53,7 @@ impl StandbyLeakageGrid {
             .par_iter()
             .map(|&(ci, vi)| {
                 let cond = Conditions::standby(tech, vsbs[vi]);
-                let mut rng =
-                    pvtm_stats::rng::substream(0x1EAF, (ci * 1000 + vi) as u64);
+                let mut rng = pvtm_stats::rng::substream(0x1EAF, (ci * 1000 + vi) as u64);
                 let stats = model.population_stats(corners[ci], &cond, samples, &mut rng);
                 (ci * vsbs.len() + vi, stats.mean)
             })
@@ -439,7 +438,10 @@ mod tests {
             .iter()
             .filter(|d| d.faulty_cols_adaptive > spares)
             .count();
-        assert!(fail_adp <= fail_opt, "adaptive {fail_adp} vs opt {fail_opt}");
+        assert!(
+            fail_adp <= fail_opt,
+            "adaptive {fail_adp} vs opt {fail_opt}"
+        );
         assert_eq!(fail_adp, 0, "adaptive never exceeds the budget");
     }
 }

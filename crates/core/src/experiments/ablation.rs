@@ -80,11 +80,14 @@ pub fn ablation_monitor(effort: Effort) -> Result<MonitorAblation, CircuitError>
         .flat_map(|bi| (0..corners.len()).map(move |ci| (bi, ci)))
         .collect::<Vec<_>>()
         .par_iter()
-        .map(|&(bi, ci)| {
-            let cond = Conditions::standby(&tech, hold_vsb).with_body_bias(biases[bi]);
-            let p = fa.failure_probs(corners[ci], &cond)?.overall();
-            Ok((bi, ci, p))
-        })
+        .map_init(
+            || fa.evaluator(),
+            |ev, &(bi, ci)| {
+                let cond = Conditions::standby(&tech, hold_vsb).with_body_bias(biases[bi]);
+                let p = fa.failure_probs_with(ev, corners[ci], &cond)?.overall();
+                Ok((bi, ci, p))
+            },
+        )
         .collect();
     for (bi, ci, p) in flat? {
         p_cell[bi][ci] = p;
@@ -312,7 +315,11 @@ impl fmt::Display for BiasLevelAblation {
             f,
             "Ablation — body-bias strength (|RBB| = |FBB|, sigma_inter = 120 mV)"
         )?;
-        writeln!(f, "{:>7} {:>12} {:>12}", "level", "param yield", "leak yield")?;
+        writeln!(
+            f,
+            "{:>7} {:>12} {:>12}",
+            "level", "param yield", "leak yield"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -414,9 +421,9 @@ pub fn ablation_march(effort: Effort) -> MarchAblation {
                 if !caught.is_empty() {
                     // Address faults often manifest at the alias target.
                     detected += caught.difference(&sites).count().min(
-                        sites.len().saturating_sub(
-                            sites.iter().filter(|s| caught.contains(s)).count(),
-                        ),
+                        sites
+                            .len()
+                            .saturating_sub(sites.iter().filter(|s| caught.contains(s)).count()),
                     );
                 }
             }

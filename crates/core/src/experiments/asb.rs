@@ -308,7 +308,10 @@ pub fn fig9(effort: Effort) -> Result<Fig9, CircuitError> {
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 9 — ASB population distributions (2 KB, sigma_inter = 60 mV)")?;
+        writeln!(
+            f,
+            "Fig 9 — ASB population distributions (2 KB, sigma_inter = 60 mV)"
+        )?;
         writeln!(
             f,
             "VSB(adaptive) spread across dies: {:.3} .. {:.3} V",

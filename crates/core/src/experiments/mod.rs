@@ -32,11 +32,11 @@ pub use ablation::{
 pub use asb::{
     cell_target_for_memory, fig10, fig6, fig8, fig9, headline, Fig10, Fig6, Fig8, Fig9, Headline,
 };
-pub use scaling::{scaling, Scaling};
 pub use repair::{
-    fig2a, fig2b, fig2c, fig3, fig4b, fig5a, fig5b, fig5c, Fig2a, Fig2b, Fig2c, Fig3, Fig4b,
-    Fig5a, Fig5b, Fig5c,
+    fig2a, fig2b, fig2c, fig3, fig4b, fig5a, fig5b, fig5c, Fig2a, Fig2b, Fig2c, Fig3, Fig4b, Fig5a,
+    Fig5b, Fig5c,
 };
+pub use scaling::{scaling, Scaling};
 
 use serde::Serialize;
 use std::path::PathBuf;

@@ -22,7 +22,11 @@ pub const HOLD_VSB: f64 = 0.5;
 
 fn baseline() -> (Technology, CellSizing, AnalysisConfig) {
     let tech = Technology::predictive_70nm();
-    (tech, CellSizing::default_for(&Technology::predictive_70nm()), AnalysisConfig::default())
+    (
+        tech,
+        CellSizing::default_for(&Technology::predictive_70nm()),
+        AnalysisConfig::default(),
+    )
 }
 
 // ---------------------------------------------------------------- fig 2a
@@ -64,17 +68,20 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
     let corners = linspace(-0.15, 0.15, effort.corners.max(5));
     let rows: Result<Vec<Fig2aRow>, CircuitError> = corners
         .par_iter()
-        .map(|&vt_inter| {
-            let p = fa.failure_probs(vt_inter, &cond)?;
-            Ok(Fig2aRow {
-                vt_inter,
-                read: p.read,
-                write: p.write,
-                access: p.access,
-                hold: p.hold,
-                overall: p.overall(),
-            })
-        })
+        .map_init(
+            || fa.evaluator(),
+            |ev, &vt_inter| {
+                let p = fa.failure_probs_with(ev, vt_inter, &cond)?;
+                Ok(Fig2aRow {
+                    vt_inter,
+                    read: p.read,
+                    write: p.write,
+                    access: p.access,
+                    hold: p.hold,
+                    overall: p.overall(),
+                })
+            },
+        )
         .collect();
     Ok(Fig2a { rows: rows? })
 }
@@ -142,25 +149,31 @@ pub fn fig2b(effort: Effort) -> Result<Fig2b, CircuitError> {
     let biases = linspace(-0.6, 0.6, effort.corners.max(5));
     let rows: Result<Vec<Fig2bRow>, CircuitError> = biases
         .par_iter()
-        .map(|&vbb| {
-            let cond = Conditions::standby(&tech, HOLD_VSB).with_body_bias(vbb);
-            let p = fa.failure_probs(0.0, &cond)?;
-            Ok(Fig2bRow {
-                body_bias: vbb,
-                read: p.read,
-                write: p.write,
-                access: p.access,
-                hold: p.hold,
-                overall: p.overall(),
-            })
-        })
+        .map_init(
+            || fa.evaluator(),
+            |ev, &vbb| {
+                let cond = Conditions::standby(&tech, HOLD_VSB).with_body_bias(vbb);
+                let p = fa.failure_probs_with(ev, 0.0, &cond)?;
+                Ok(Fig2bRow {
+                    body_bias: vbb,
+                    read: p.read,
+                    write: p.write,
+                    access: p.access,
+                    hold: p.hold,
+                    overall: p.overall(),
+                })
+            },
+        )
         .collect();
     Ok(Fig2b { rows: rows? })
 }
 
 impl fmt::Display for Fig2b {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 2b — failure probabilities vs NMOS body bias (nominal corner)")?;
+        writeln!(
+            f,
+            "Fig 2b — failure probabilities vs NMOS body bias (nominal corner)"
+        )?;
         writeln!(
             f,
             "{:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -223,8 +236,7 @@ pub fn fig2c(effort: Effort) -> Result<Fig2c, CircuitError> {
             // Spare budget: 5 % of the 64 KB memory's columns, shared by
             // both capacities — at a fixed repair budget the larger memory
             // yields worse, as the paper's Fig. 2c shows.
-            let spares = (pvtm_sram::ArrayOrganization::with_capacity_kib(64, 0.05))
-                .redundant_cols;
+            let spares = (pvtm_sram::ArrayOrganization::with_capacity_kib(64, 0.05)).redundant_cols;
             let mut cfg = SelfRepairConfig::default_70nm(kib, spares);
             cfg.org = pvtm_sram::ArrayOrganization::with_capacity_kib_spares(kib, spares);
             SelfRepairingMemory::new(cfg)
@@ -340,7 +352,9 @@ pub fn fig3(effort: Effort) -> Fig3 {
                     // is preserved by stratified subsampling at this size.
                     let n_sub = 2048.min(array_cells);
                     let scale = array_cells as f64 / n_sub as f64;
-                    let sum: f64 = (0..n_sub).map(|_| model.sample_cell(c, &cond, &mut rng)).sum();
+                    let sum: f64 = (0..n_sub)
+                        .map(|_| model.sample_cell(c, &cond, &mut rng))
+                        .sum();
                     sum * scale
                 })
                 .collect()
@@ -521,9 +535,7 @@ pub fn fig5a(effort: Effort) -> Fig5a {
     let model = CellLeakageModel::new(&tech, sizing);
     let cell = SramCell::nominal(&tech);
     let biases = linspace(-0.6, 0.6, (2 * effort.corners).max(13));
-    let norm = model
-        .standby(&cell, &Conditions::active(&tech))
-        .total();
+    let norm = model.standby(&cell, &Conditions::active(&tech)).total();
     let rows: Vec<Fig5aRow> = biases
         .iter()
         .map(|&vbb| {
@@ -548,7 +560,10 @@ pub fn fig5a(effort: Effort) -> Fig5a {
 
 impl fmt::Display for Fig5a {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 5a — normalized cell leakage components vs body bias")?;
+        writeln!(
+            f,
+            "Fig 5a — normalized cell leakage components vs body bias"
+        )?;
         writeln!(
             f,
             "{:>7} {:>8} {:>8} {:>9} {:>9} {:>8}",
@@ -634,7 +649,11 @@ pub fn fig5b(effort: Effort) -> Result<Fig5b, CircuitError> {
 impl fmt::Display for Fig5b {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 5b — inter-die array-leakage spread (64 KB)")?;
-        writeln!(f, "p95/p5 leakage ratio at ZBB:        {:.2}", self.spread_zbb)?;
+        writeln!(
+            f,
+            "p95/p5 leakage ratio at ZBB:        {:.2}",
+            self.spread_zbb
+        )?;
         writeln!(
             f,
             "p95/p5 leakage ratio self-repaired: {:.2} (compressed)",
@@ -743,8 +762,14 @@ mod tests {
         let zbb = &result.rows[result.rows.len() / 2];
         let fbb = result.rows.last().unwrap();
         assert!(rbb.read < zbb.read && zbb.read < fbb.read, "read vs bias");
-        assert!(rbb.access > zbb.access && zbb.access > fbb.access, "access vs bias");
-        assert!(rbb.write > zbb.write && zbb.write > fbb.write, "write vs bias");
+        assert!(
+            rbb.access > zbb.access && zbb.access > fbb.access,
+            "access vs bias"
+        );
+        assert!(
+            rbb.write > zbb.write && zbb.write > fbb.write,
+            "write vs bias"
+        );
     }
 
     #[test]

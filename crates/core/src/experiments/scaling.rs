@@ -60,15 +60,12 @@ pub fn scaling(_effort: Effort) -> Result<Scaling, CircuitError> {
         .par_iter()
         .map(|tech| {
             let sizing = CellSizing::default_for(tech);
-            let fa = FailureAnalyzer::calibrate_timing(
-                tech,
-                sizing,
-                AnalysisConfig::default(),
-                4.7,
-            )?;
+            let fa =
+                FailureAnalyzer::calibrate_timing(tech, sizing, AnalysisConfig::default(), 4.7)?;
             let cond = Conditions::standby(tech, 0.5 * tech.vdd());
-            let p_nom = fa.failure_probs(0.0, &cond)?.overall();
-            let p_low = fa.failure_probs(-0.10, &cond)?.overall();
+            let mut ev = fa.evaluator();
+            let p_nom = fa.failure_probs_with(&mut ev, 0.0, &cond)?.overall();
+            let p_low = fa.failure_probs_with(&mut ev, -0.10, &cond)?.overall();
             let leak = CellLeakageModel::new(tech, sizing)
                 .standby(&SramCell::nominal(tech), &Conditions::active(tech))
                 .total();

@@ -12,6 +12,9 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::body_bias::BodyBiasGenerator;
+use crate::interp::{lin_interp, log_interp};
+use crate::monitor::{LeakageBinner, LeakageMonitor, VtRegion};
 use pvtm_circuit::CircuitError;
 use pvtm_device::Technology;
 use pvtm_sram::leakage::LeakageStats;
@@ -19,9 +22,6 @@ use pvtm_sram::{
     AnalysisConfig, ArrayOrganization, CellLeakageModel, CellSizing, Conditions, FailureAnalyzer,
     FailureProbs,
 };
-use crate::body_bias::BodyBiasGenerator;
-use crate::interp::{lin_interp, log_interp};
-use crate::monitor::{LeakageBinner, LeakageMonitor, VtRegion};
 
 /// Configuration of a self-repairing memory instance.
 #[derive(Debug, Clone)]
@@ -198,9 +198,20 @@ impl SelfRepairingMemory {
         corner: f64,
         body_bias: f64,
     ) -> Result<FailureProbs, CircuitError> {
-        let cond = Conditions::standby(&self.cfg.tech, self.cfg.hold_vsb)
-            .with_body_bias(body_bias);
-        self.fa.failure_probs(corner, &cond)
+        let mut ev = self.fa.evaluator();
+        self.cell_failure_probs_with(&mut ev, corner, body_bias)
+    }
+
+    /// [`Self::cell_failure_probs`] against a caller-held evaluator (the
+    /// per-thread hot path of [`Self::response`]).
+    fn cell_failure_probs_with(
+        &self,
+        ev: &mut pvtm_sram::CellEvaluator,
+        corner: f64,
+        body_bias: f64,
+    ) -> Result<FailureProbs, CircuitError> {
+        let cond = Conditions::standby(&self.cfg.tech, self.cfg.hold_vsb).with_body_bias(body_bias);
+        self.fa.failure_probs_with(ev, corner, &cond)
     }
 
     /// Precomputes the full corner response over a grid (parallel).
@@ -212,31 +223,34 @@ impl SelfRepairingMemory {
         assert!(corners.len() >= 2, "need a corner grid");
         let points: Result<Vec<CornerPoint>, CircuitError> = corners
             .par_iter()
-            .map(|&corner| {
-                let region = self.classify(corner);
-                let bias = self.cfg.generator.bias_for(region);
-                let probs_zbb = self.cell_failure_probs(corner, 0.0)?;
-                let probs_abb = if bias == 0.0 {
-                    probs_zbb
-                } else {
-                    self.cell_failure_probs(corner, bias)?
-                };
-                let leak_zbb = self.cell_leak_stats(corner, 0.0);
-                let leak_abb = if bias == 0.0 {
-                    leak_zbb
-                } else {
-                    self.cell_leak_stats(corner, bias)
-                };
-                Ok(CornerPoint {
-                    corner,
-                    region,
-                    bias,
-                    probs_zbb,
-                    probs_abb,
-                    leak_zbb,
-                    leak_abb,
-                })
-            })
+            .map_init(
+                || self.fa.evaluator(),
+                |ev, &corner| {
+                    let region = self.classify(corner);
+                    let bias = self.cfg.generator.bias_for(region);
+                    let probs_zbb = self.cell_failure_probs_with(ev, corner, 0.0)?;
+                    let probs_abb = if bias == 0.0 {
+                        probs_zbb
+                    } else {
+                        self.cell_failure_probs_with(ev, corner, bias)?
+                    };
+                    let leak_zbb = self.cell_leak_stats(corner, 0.0);
+                    let leak_abb = if bias == 0.0 {
+                        leak_zbb
+                    } else {
+                        self.cell_leak_stats(corner, bias)
+                    };
+                    Ok(CornerPoint {
+                        corner,
+                        region,
+                        bias,
+                        probs_zbb,
+                        probs_abb,
+                        leak_zbb,
+                        leak_abb,
+                    })
+                },
+            )
             .collect();
         Ok(CornerResponse {
             org: self.cfg.org,
@@ -310,7 +324,8 @@ impl CornerResponse {
 
     /// Expected number of faulty columns at a corner.
     pub fn expected_faulty_columns(&self, corner: f64, policy: Policy) -> f64 {
-        self.org.expected_faulty_columns(self.p_cell(corner, policy))
+        self.org
+            .expected_faulty_columns(self.p_cell(corner, policy))
     }
 
     /// Parametric yield (paper Eq. (1)): the fraction of dies whose memory
@@ -348,7 +363,9 @@ impl CornerResponse {
 
     /// Array (memory) leakage mean at a corner \[A\].
     pub fn array_leak_mean(&self, corner: f64, policy: Policy) -> f64 {
-        self.org.leakage_stats(self.cell_leak_stats(corner, policy)).mean
+        self.org
+            .leakage_stats(self.cell_leak_stats(corner, policy))
+            .mean
     }
 
     /// Leakage yield `L_Yield` (paper Eqs. (3)–(4)): fraction of dies whose

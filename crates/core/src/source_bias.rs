@@ -51,8 +51,25 @@ impl SourceBiasAnalyzer {
     ///
     /// Propagates DC-solver failures.
     pub fn hold_failure_prob(&self, corner: f64, vsb: f64) -> Result<f64, CircuitError> {
+        let mut ev = self.fa.evaluator();
+        self.hold_failure_prob_with(&mut ev, corner, vsb)
+    }
+
+    /// [`Self::hold_failure_prob`] against a caller-held evaluator — the
+    /// hot path for the `max_vsb` bracketing/bisection loops and the grid
+    /// build, where adjacent evaluations are millivolts apart and warm
+    /// starts almost always hit.
+    fn hold_failure_prob_with(
+        &self,
+        ev: &mut pvtm_sram::CellEvaluator,
+        corner: f64,
+        vsb: f64,
+    ) -> Result<f64, CircuitError> {
         let cond = Conditions::standby(&self.tech, vsb);
-        Ok(self.fa.linearize_hold(corner, &cond)?.failure_prob())
+        Ok(self
+            .fa
+            .linearize_hold_with(ev, corner, &cond)?
+            .failure_prob())
     }
 
     /// The largest source bias at this corner whose hold-failure
@@ -75,15 +92,18 @@ impl SourceBiasAnalyzer {
         // not monotone at small vsb, so a plain bisection from 0 could
         // latch onto the wrong side).
         const STEPS: usize = 15;
+        // One evaluator for the whole scan + bisection: adjacent vsb points
+        // differ by millivolts, so nearly every solve warm-starts.
+        let mut ev = self.fa.evaluator();
         let mut lo = 0.0f64;
         let mut hi = None;
-        let mut p_lo = self.hold_failure_prob(corner, 0.0)?;
+        let mut p_lo = self.hold_failure_prob_with(&mut ev, corner, 0.0)?;
         if p_lo > p_target {
             return Ok(0.0);
         }
         for k in 1..=STEPS {
             let v = self.vsb_cap * k as f64 / STEPS as f64;
-            let p = self.hold_failure_prob(corner, v)?;
+            let p = self.hold_failure_prob_with(&mut ev, corner, v)?;
             if p > p_target {
                 hi = Some(v);
                 break;
@@ -98,7 +118,7 @@ impl SourceBiasAnalyzer {
         // Refine by bisection.
         for _ in 0..18 {
             let mid = 0.5 * (lo + hi);
-            if self.hold_failure_prob(corner, mid)? > p_target {
+            if self.hold_failure_prob_with(&mut ev, corner, mid)? > p_target {
                 hi = mid;
             } else {
                 lo = mid;
@@ -153,11 +173,16 @@ impl HoldModelGrid {
             .collect();
         let models: Result<Vec<(usize, usize, HoldFailureModel)>, CircuitError> = cells
             .par_iter()
-            .map(|&(ci, vi)| {
-                let cond = Conditions::standby(&analyzer.tech, vsbs[vi]);
-                let m = analyzer.fa.linearize_hold(corners[ci], &cond)?;
-                Ok((ci, vi, m))
-            })
+            .map_init(
+                // One compiled evaluator per worker thread; grid neighbours
+                // processed by the same worker warm-start each other.
+                || analyzer.fa.evaluator(),
+                |ev, &(ci, vi)| {
+                    let cond = Conditions::standby(&analyzer.tech, vsbs[vi]);
+                    let m = analyzer.fa.linearize_hold_with(ev, corners[ci], &cond)?;
+                    Ok((ci, vi, m))
+                },
+            )
             .collect();
         let mut sorted = models?;
         sorted.sort_by_key(|&(ci, vi, _)| (ci, vi));
@@ -200,7 +225,10 @@ impl HoldModelGrid {
     /// Hold-failure probability at an arbitrary (corner, vsb).
     pub fn failure_prob(&self, corner: f64, vsb: f64) -> f64 {
         let models = self.models_at_corner(corner);
-        let probs: Vec<f64> = models.iter().map(|m| m.failure_prob().max(1e-300).ln()).collect();
+        let probs: Vec<f64> = models
+            .iter()
+            .map(|m| m.failure_prob().max(1e-300).ln())
+            .collect();
         lin_interp(&self.vsbs, &probs, vsb).exp().min(1.0)
     }
 
@@ -259,8 +287,7 @@ impl CornerHoldProfile {
 /// Linear blend of two hold models.
 fn blend(a: &HoldFailureModel, b: &HoldFailureModel, t: f64) -> HoldFailureModel {
     let mix = |x: f64, y: f64| x + (y - x) * t;
-    let mix_model = |x: &pvtm_sram::failure::MarginModel,
-                     y: &pvtm_sram::failure::MarginModel| {
+    let mix_model = |x: &pvtm_sram::failure::MarginModel, y: &pvtm_sram::failure::MarginModel| {
         pvtm_sram::failure::MarginModel {
             nominal: mix(x.nominal, y.nominal),
             sensitivity: std::array::from_fn(|i| mix(x.sensitivity[i], y.sensitivity[i])),
@@ -279,7 +306,11 @@ mod tests {
 
     fn analyzer() -> SourceBiasAnalyzer {
         let tech = Technology::predictive_70nm();
-        SourceBiasAnalyzer::new(&tech, CellSizing::default_for(&tech), AnalysisConfig::default())
+        SourceBiasAnalyzer::new(
+            &tech,
+            CellSizing::default_for(&tech),
+            AnalysisConfig::default(),
+        )
     }
 
     #[test]
@@ -311,21 +342,14 @@ mod tests {
     fn vsb_opt_equals_nominal_ceiling() {
         let a = analyzer();
         let target = 1e-3;
-        assert_eq!(
-            a.vsb_opt(target).unwrap(),
-            a.max_vsb(0.0, target).unwrap()
-        );
+        assert_eq!(a.vsb_opt(target).unwrap(), a.max_vsb(0.0, target).unwrap());
     }
 
     #[test]
     fn grid_probability_matches_direct_evaluation() {
         let a = analyzer();
-        let grid = HoldModelGrid::build(
-            &a,
-            linspace(-0.12, 0.12, 5),
-            linspace(0.3, 0.72, 8),
-        )
-        .unwrap();
+        let grid =
+            HoldModelGrid::build(&a, linspace(-0.12, 0.12, 5), linspace(0.3, 0.72, 8)).unwrap();
         // On-grid point: interpolation must agree with the direct model.
         let direct = a.hold_failure_prob(0.0, 0.72).unwrap();
         let gridded = grid.failure_prob(0.0, 0.72);
@@ -338,12 +362,8 @@ mod tests {
     #[test]
     fn min_vsb_reflects_cell_weakness() {
         let a = analyzer();
-        let grid = HoldModelGrid::build(
-            &a,
-            linspace(-0.12, 0.12, 3),
-            linspace(0.3, 0.72, 8),
-        )
-        .unwrap();
+        let grid =
+            HoldModelGrid::build(&a, linspace(-0.12, 0.12, 3), linspace(0.3, 0.72, 8)).unwrap();
         // A leaky NL combined with a weak PL (the dominant failure
         // direction) fails earlier than a typical cell.
         let weak = grid.min_vsb_for_cell(0.0, &[-3.0, 0.0, 2.5, 0.0, 0.0, 0.0]);

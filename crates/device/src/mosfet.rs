@@ -181,7 +181,11 @@ impl Mosfet {
             Polarity::Nmos => bias,
             Polarity::Pmos => bias.reflected(),
         };
-        let (vd, vs) = if b.vd >= b.vs { (b.vd, b.vs) } else { (b.vs, b.vd) };
+        let (vd, vs) = if b.vd >= b.vs {
+            (b.vd, b.vs)
+        } else {
+            (b.vs, b.vd)
+        };
         self.vt_eff(vd, vs, b.vb, temp_k)
     }
 
@@ -379,10 +383,16 @@ mod tests {
         let n = nmos();
         let leak_cold = n.ids(Bias::new(0.0, 1.0, 0.0, 0.0), 300.0);
         let leak_hot = n.ids(Bias::new(0.0, 1.0, 0.0, 0.0), 380.0);
-        assert!(leak_hot > 5.0 * leak_cold, "leakage must grow strongly with T");
+        assert!(
+            leak_hot > 5.0 * leak_cold,
+            "leakage must grow strongly with T"
+        );
         let on_cold = n.ids(Bias::new(1.0, 1.0, 0.0, 0.0), 300.0);
         let on_hot = n.ids(Bias::new(1.0, 1.0, 0.0, 0.0), 380.0);
-        assert!(on_hot < on_cold, "mobility degradation must win at full drive");
+        assert!(
+            on_hot < on_cold,
+            "mobility degradation must win at full drive"
+        );
     }
 
     #[test]

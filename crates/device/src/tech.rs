@@ -194,8 +194,12 @@ mod tests {
             Technology::predictive_90nm(),
             Technology::predictive_45nm(),
         ] {
-            t.nmos().validate().unwrap_or_else(|e| panic!("{}: {e}", t.name()));
-            t.pmos().validate().unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            t.nmos()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            t.pmos()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
             assert!(t.lmin() > 0.0);
             assert!(t.vdd() > 0.0);
         }

@@ -79,7 +79,9 @@ mod tests {
         let dev = Mosfet::nmos(&t, 100e-9, t.lmin());
         let vm = VariationModel::new(0.0);
         let mut rng = pvtm_stats::rng::substream(32, 0);
-        let s: Summary = (0..50_000).map(|_| vm.sample_device(&dev, &mut rng)).collect();
+        let s: Summary = (0..50_000)
+            .map(|_| vm.sample_device(&dev, &mut rng))
+            .collect();
         let expected = dev.sigma_vt();
         assert!((s.std_dev() - expected).abs() < 0.02 * expected);
         // Minimum-geometry RDF sigma should land in the paper's regime.

@@ -146,7 +146,11 @@ impl CellAnalysis {
 
     /// Solves the read divider: `AXR` (from `BR` = vdd) against `NR`
     /// (gate held at vdd by the 1 node). Returns `(V_READ, I_read)`.
-    fn read_solution(&self, cell: &SramCell, cond: &Conditions) -> Result<(f64, f64), CircuitError> {
+    fn read_solution(
+        &self,
+        cell: &SramCell,
+        cond: &Conditions,
+    ) -> Result<(f64, f64), CircuitError> {
         let mut ckt = Netlist::new();
         ckt.set_temperature(cond.temp_k);
         let br = ckt.node("br");
@@ -261,8 +265,20 @@ impl CellAnalysis {
     /// Propagates DC-solver failures from the trip-point extraction.
     pub fn write_time(&self, cell: &SramCell, cond: &Conditions) -> Result<f64, CircuitError> {
         let trip = self.v_trip_wr(cell, cond)?;
+        Ok(self.write_time_from_trip(cell, cond, trip))
+    }
+
+    /// Pure-math tail of [`Self::write_time`]: the charge integration for a
+    /// known flip threshold. Shared with the compiled-template evaluator so
+    /// both paths compute the identical trajectory.
+    pub(crate) fn write_time_from_trip(
+        &self,
+        cell: &SramCell,
+        cond: &Conditions,
+        trip: f64,
+    ) -> f64 {
         if trip >= cond.vdd {
-            return Ok(0.0);
+            return 0.0;
         }
         let axl = cell.device(Xtor::Axl);
         let pl = cell.device(Xtor::Pl);
@@ -286,11 +302,11 @@ impl CellAnalysis {
             );
             let i_net = i_ax - i_pl;
             if i_net <= 0.0 {
-                return Ok(f64::INFINITY);
+                return f64::INFINITY;
             }
             t += self.config.c_node * (v0 - v1) / i_net;
         }
-        Ok(t)
+        t
     }
 
     /// Write-ability margin `ln(T_WL / t_write)` (dimensionless): negative
@@ -303,13 +319,17 @@ impl CellAnalysis {
     ///
     /// Propagates DC-solver failures.
     pub fn write_margin(&self, cell: &SramCell, cond: &Conditions) -> Result<f64, CircuitError> {
-        let t = self.write_time(cell, cond)?;
+        Ok(self.write_margin_from_time(self.write_time(cell, cond)?))
+    }
+
+    /// Maps a write (flip) time to the margin `ln(T_WL / t)`. A static
+    /// write failure (infinite time) maps to a deeply negative but finite
+    /// margin so the linearized model stays usable.
+    pub(crate) fn write_margin_from_time(&self, t: f64) -> f64 {
         if !t.is_finite() {
-            // Static write failure: deeply negative, kept finite so the
-            // linearized model stays usable.
-            return Ok(-10.0);
+            return -10.0;
         }
-        Ok((self.config.t_wl_max / t.max(1e-15)).ln())
+        (self.config.t_wl_max / t.max(1e-15)).ln()
     }
 
     /// Access (bit-line discharge) time \[s\]: `C_BL · ΔV_sense / I_read`.
@@ -328,7 +348,14 @@ impl CellAnalysis {
     ///
     /// Propagates DC-solver failures.
     pub fn access_margin(&self, cell: &SramCell, cond: &Conditions) -> Result<f64, CircuitError> {
-        Ok((self.config.t_max / self.access_time(cell, cond)?).ln())
+        Ok(self.access_margin_from_current(self.read_current(cell, cond)?))
+    }
+
+    /// Maps a read current to the access margin
+    /// `ln(T_MAX / (C_BL · ΔV_sense / I))`.
+    pub(crate) fn access_margin_from_current(&self, i_read: f64) -> f64 {
+        let t_access = self.config.cbl * self.config.dv_sense / i_read.max(1e-12);
+        (self.config.t_max / t_access).ln()
     }
 
     /// Standby state of the full cell: returns `(VL, VR)` with the cell
@@ -338,7 +365,11 @@ impl CellAnalysis {
     /// # Errors
     ///
     /// Propagates DC-solver failures.
-    pub fn hold_state(&self, cell: &SramCell, cond: &Conditions) -> Result<(f64, f64), CircuitError> {
+    pub fn hold_state(
+        &self,
+        cell: &SramCell,
+        cond: &Conditions,
+    ) -> Result<(f64, f64), CircuitError> {
         let mut ckt = Netlist::new();
         ckt.set_temperature(cond.temp_k);
         let vdd = ckt.node("vdd");
@@ -396,7 +427,11 @@ impl CellAnalysis {
     /// # Errors
     ///
     /// Propagates DC-solver failures.
-    pub fn v_trip_hold_left(&self, cell: &SramCell, cond: &Conditions) -> Result<f64, CircuitError> {
+    pub fn v_trip_hold_left(
+        &self,
+        cell: &SramCell,
+        cond: &Conditions,
+    ) -> Result<f64, CircuitError> {
         let level = cond.vsb + (cond.vdd - cond.vsb) * self.config.trip_level_frac;
         self.inverter_trip(cell, cond, Side::Left, false, level)
     }
@@ -429,7 +464,11 @@ impl CellAnalysis {
     /// # Errors
     ///
     /// Propagates DC-solver failures.
-    pub fn hold_metrics(&self, cell: &SramCell, cond: &Conditions) -> Result<HoldMetrics, CircuitError> {
+    pub fn hold_metrics(
+        &self,
+        cell: &SramCell,
+        cond: &Conditions,
+    ) -> Result<HoldMetrics, CircuitError> {
         // A cell on the verge of losing bistability can defeat the DC
         // solver (fold point): physically that is full retention collapse,
         // so report the droop as the whole rail rather than failing.
@@ -547,7 +586,11 @@ impl CellAnalysis {
         ckt.mosfet("PD", out, input, sl, bn, cell.device(pd));
         ckt.mosfet("AX", bit, wl, out, bn, cell.device(ax));
         // Warm-start near the expected branch of the VTC.
-        let guess = if vin > cond.vdd * 0.5 { cond.vsb } else { cond.vdd };
+        let guess = if vin > cond.vdd * 0.5 {
+            cond.vsb
+        } else {
+            cond.vdd
+        };
         let opts = DcOptions::default().guess(out, guess).guess(vdd, cond.vdd);
         let sol = dc::solve(&ckt, &opts)?;
         Ok(sol.voltage(out))
@@ -708,8 +751,8 @@ impl CellAnalysis {
         set(bn, cond.body_bias, &mut state);
 
         let t_stop = self.config.t_max * 8.0;
-        let opts = pvtm_circuit::TransientOptions::new(t_stop / 400.0, t_stop)
-            .with_initial_state(state);
+        let opts =
+            pvtm_circuit::TransientOptions::new(t_stop / 400.0, t_stop).with_initial_state(state);
         let res = pvtm_circuit::transient::solve(&ckt, &opts)?;
         res.crossing_time(br, cond.vdd - self.config.dv_sense, true)
             .ok_or(CircuitError::NoConvergence {
@@ -721,8 +764,10 @@ impl CellAnalysis {
 
 /// Which inverter of the cross-coupled pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Side {
+pub(crate) enum Side {
+    /// The `PL`/`NL` inverter (output at `VL`, access device `AXL`).
     Left,
+    /// The `PR`/`NR` inverter (output at `VR`, access device `AXR`).
     Right,
 }
 

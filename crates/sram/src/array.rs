@@ -97,7 +97,10 @@ impl ArrayOrganization {
     /// Probability that one column is faulty given a per-cell failure
     /// probability: `1 − (1 − p)^rows`, evaluated stably for tiny `p`.
     pub fn column_failure_prob(&self, p_cell: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p_cell), "invalid probability {p_cell}");
+        assert!(
+            (0.0..=1.0).contains(&p_cell),
+            "invalid probability {p_cell}"
+        );
         if p_cell == 0.0 {
             return 0.0;
         }
@@ -163,7 +166,10 @@ mod tests {
         let org = ArrayOrganization::with_capacity_kib(256, 0.05);
         assert_eq!(org.cells(), 256 * 1024 * 8);
         assert!((org.capacity_kib() - 256.0).abs() < 1e-12);
-        assert_eq!(org.redundant_cols, (org.cols as f64 * 0.05).round() as usize);
+        assert_eq!(
+            org.redundant_cols,
+            (org.cols as f64 * 0.05).round() as usize
+        );
     }
 
     #[test]
@@ -205,10 +211,8 @@ mod tests {
         // fixed spare-column budget, the larger array accumulates more
         // faulty columns.
         let p_cell = 1e-6;
-        let small =
-            ArrayOrganization::with_capacity_kib_spares(64, 8).memory_failure_prob(p_cell);
-        let big =
-            ArrayOrganization::with_capacity_kib_spares(256, 8).memory_failure_prob(p_cell);
+        let small = ArrayOrganization::with_capacity_kib_spares(64, 8).memory_failure_prob(p_cell);
+        let big = ArrayOrganization::with_capacity_kib_spares(256, 8).memory_failure_prob(p_cell);
         assert!(big > small, "256KB {big:.3e} vs 64KB {small:.3e}");
     }
 

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analysis::{AnalysisConfig, CellAnalysis, Margins};
 use crate::cell::{CellSizing, Conditions, SramCell, Xtor};
+use crate::evaluator::CellEvaluator;
 use pvtm_device::Technology;
 
 /// Probability of each failure mechanism for one cell.
@@ -203,7 +204,12 @@ impl CellFailureModel {
     /// Linear(ized) margin models ordered `[read, write, access, hold]`
     /// (hold is the approximate combined model).
     pub fn as_array(&self) -> [MarginModel; 4] {
-        [self.read, self.write, self.access, self.hold.combined_margin()]
+        [
+            self.read,
+            self.write,
+            self.access,
+            self.hold.combined_margin(),
+        ]
     }
 }
 
@@ -271,6 +277,31 @@ impl FailureAnalyzer {
         &self.sigmas
     }
 
+    /// The analyzer's base cell (nominal deviations, this sizing).
+    pub fn base(&self) -> &SramCell {
+        &self.base
+    }
+
+    /// Builds a reusable compiled-template evaluator for this analyzer's
+    /// cell — the hot path for repeated margin evaluations (linearization,
+    /// Monte Carlo). See [`CellEvaluator`].
+    pub fn evaluator(&self) -> CellEvaluator {
+        CellEvaluator::new(&self.analysis, &self.base)
+    }
+
+    /// Patches `ev`'s deviations to the standardized vector `z` on top of
+    /// an inter-die shift: `dvtᵢ = base + vt_inter·[NMOSᵢ] + σᵢ·zᵢ`.
+    fn apply_deviation(&self, ev: &mut CellEvaluator, z: &[f64; 6], vt_inter: f64) {
+        let mut dvt = *self.base.deviations();
+        for i in 0..6 {
+            if Xtor::ALL[i].is_nmos() {
+                dvt[i] += vt_inter;
+            }
+            dvt[i] += self.sigmas[i] * z[i];
+        }
+        ev.set_deviations(dvt);
+    }
+
     /// Exact (circuit-solved) margins at a standardized deviation vector
     /// `z` (per-transistor deviation `σᵢ·zᵢ`) on top of an inter-die shift.
     ///
@@ -283,40 +314,45 @@ impl FailureAnalyzer {
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<Margins, CircuitError> {
-        let mut cell = self.base.clone().with_inter_die_shift(vt_inter);
-        let mut dvt = *cell.deviations();
-        for i in 0..6 {
-            dvt[i] += self.sigmas[i] * z[i];
-        }
-        cell.set_deviations(dvt);
-        self.analysis.margins(&cell, cond)
+        let mut ev = self.evaluator();
+        self.margins_at_with(&mut ev, z, vt_inter, cond)
+    }
+
+    /// [`Self::margins_at`] against a caller-held evaluator, so repeated
+    /// evaluations reuse the compiled templates and warm-started solver
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn margins_at_with(
+        &self,
+        ev: &mut CellEvaluator,
+        z: &[f64; 6],
+        vt_inter: f64,
+        cond: &Conditions,
+    ) -> Result<Margins, CircuitError> {
+        self.apply_deviation(ev, z, vt_inter);
+        ev.margins(cond)
     }
 
     /// One evaluation of every raw metric at a standardized deviation
     /// vector: `[read, write, access]` margins plus `ln(droop)` and
     /// `allowed` for the hold model.
-    fn metrics_at(
+    fn metrics_at_with(
         &self,
+        ev: &mut CellEvaluator,
         z: &[f64; 6],
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<[f64; 5], CircuitError> {
-        let mut cell = self.base.clone().with_inter_die_shift(vt_inter);
-        let mut dvt = *cell.deviations();
-        for i in 0..6 {
-            dvt[i] += self.sigmas[i] * z[i];
-        }
-        cell.set_deviations(dvt);
-        let active = Conditions { vsb: 0.0, ..*cond };
-        let read = self.analysis.read_margin(&cell, &active)?;
-        let write = self.analysis.write_margin(&cell, &active)?;
-        let access = self.analysis.access_margin(&cell, &active)?;
-        let hold = self.analysis.hold_metrics(&cell, cond)?;
-        Ok([read, write, access, hold.droop.ln(), hold.allowed])
+        self.apply_deviation(ev, z, vt_inter);
+        ev.metrics(cond)
     }
 
     /// Builds the linearized failure model at a corner by central
-    /// differences at ±1σ per transistor (13 metric evaluations).
+    /// differences at ±1σ per transistor (13 metric evaluations, all
+    /// through one warm-started evaluator).
     ///
     /// # Errors
     ///
@@ -326,16 +362,35 @@ impl FailureAnalyzer {
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<CellFailureModel, CircuitError> {
+        self.linearize_with(&mut self.evaluator(), vt_inter, cond)
+    }
+
+    /// [`Self::linearize`] against a caller-held evaluator: sweeps and
+    /// per-thread loops (corner grids, optimizer candidates) keep the
+    /// compiled templates and warm-started solver state alive across
+    /// calls. The evaluator must come from this analyzer's
+    /// [`Self::evaluator`] (or be retargeted to [`Self::base`] via
+    /// [`CellEvaluator::set_cell`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn linearize_with(
+        &self,
+        ev: &mut CellEvaluator,
+        vt_inter: f64,
+        cond: &Conditions,
+    ) -> Result<CellFailureModel, CircuitError> {
         let zero = [0.0; 6];
-        let m0 = self.metrics_at(&zero, vt_inter, cond)?;
+        let m0 = self.metrics_at_with(ev, &zero, vt_inter, cond)?;
         let mut sens = [[0.0f64; 6]; 5];
         for i in 0..6 {
             let mut zp = zero;
             let mut zm = zero;
             zp[i] = 1.0;
             zm[i] = -1.0;
-            let mp = self.metrics_at(&zp, vt_inter, cond)?;
-            let mm = self.metrics_at(&zm, vt_inter, cond)?;
+            let mp = self.metrics_at_with(ev, &zp, vt_inter, cond)?;
+            let mm = self.metrics_at_with(ev, &zm, vt_inter, cond)?;
             for k in 0..5 {
                 sens[k][i] = 0.5 * (mp[k] - mm[k]);
             }
@@ -368,14 +423,25 @@ impl FailureAnalyzer {
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<HoldFailureModel, CircuitError> {
-        let eval = |z: &[f64; 6]| -> Result<(f64, f64), CircuitError> {
-            let mut cell = self.base.clone().with_inter_die_shift(vt_inter);
-            let mut dvt = *cell.deviations();
-            for i in 0..6 {
-                dvt[i] += self.sigmas[i] * z[i];
-            }
-            cell.set_deviations(dvt);
-            let h = self.analysis.hold_metrics(&cell, cond)?;
+        self.linearize_hold_with(&mut self.evaluator(), vt_inter, cond)
+    }
+
+    /// [`Self::linearize_hold`] against a caller-held evaluator (see
+    /// [`Self::linearize_with`] for the contract) — the hot path of the
+    /// corner × VSB grid sweeps behind the Fig. 6 calibration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn linearize_hold_with(
+        &self,
+        ev: &mut CellEvaluator,
+        vt_inter: f64,
+        cond: &Conditions,
+    ) -> Result<HoldFailureModel, CircuitError> {
+        let mut eval = |z: &[f64; 6]| -> Result<(f64, f64), CircuitError> {
+            self.apply_deviation(ev, z, vt_inter);
+            let h = ev.hold_metrics(cond)?;
             Ok((h.droop.ln(), h.allowed))
         };
         let zero = [0.0; 6];
@@ -417,6 +483,21 @@ impl FailureAnalyzer {
         Ok(self.linearize(vt_inter, cond)?.probs())
     }
 
+    /// [`Self::failure_probs`] against a caller-held evaluator (see
+    /// [`Self::linearize_with`] for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures.
+    pub fn failure_probs_with(
+        &self,
+        ev: &mut CellEvaluator,
+        vt_inter: f64,
+        cond: &Conditions,
+    ) -> Result<FailureProbs, CircuitError> {
+        Ok(self.linearize_with(ev, vt_inter, cond)?.probs())
+    }
+
     /// Importance-sampled Monte-Carlo estimate of the *overall* cell
     /// failure probability (exact margins; any mechanism failing counts).
     ///
@@ -449,19 +530,22 @@ impl FailureAnalyzer {
         let m = &models[dominant];
         let sigma = m.sigma().max(1e-12);
         let beta = (m.nominal / sigma).clamp(-4.0, 4.0);
-        let shift: Vec<f64> = m
-            .sensitivity
-            .iter()
-            .map(|s| -s / sigma * beta)
-            .collect();
+        let shift: Vec<f64> = m.sensitivity.iter().map(|s| -s / sigma * beta).collect();
         let sampler = ImportanceSampler::new(shift);
-        let est = sampler.probability(samples, seed, |zs| {
-            let z: [f64; 6] = std::array::from_fn(|i| zs[i]);
-            match self.margins_at(&z, vt_inter, cond) {
-                Ok(m) => m.any_failure(),
-                Err(_) => true,
-            }
-        });
+        // One compiled evaluator per parallel chunk: templates and
+        // warm-started solver state are reused across that chunk's samples.
+        let est = sampler.probability_init(
+            samples,
+            seed,
+            || self.evaluator(),
+            |ev, zs| {
+                let z: [f64; 6] = std::array::from_fn(|i| zs[i]);
+                match self.margins_at_with(ev, &z, vt_inter, cond) {
+                    Ok(m) => m.any_failure(),
+                    Err(_) => true,
+                }
+            },
+        );
         Ok(est)
     }
 }

@@ -119,12 +119,7 @@ impl CellLeakageModel {
 
     /// Samples one cell's total standby leakage with RDF deviations drawn
     /// from `rng` on top of an inter-die shift.
-    pub fn sample_cell(
-        &self,
-        vt_inter: f64,
-        cond: &Conditions,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn sample_cell(&self, vt_inter: f64, cond: &Conditions, rng: &mut impl Rng) -> f64 {
         let mut cell = SramCell::with_sizing(&self.tech, self.sizing);
         let vm = pvtm_device::VariationModel::new(0.0);
         let dvt: [f64; 6] =
@@ -228,7 +223,11 @@ mod tests {
         let s = Summary::from_slice(&samples);
         // Positive skew: mean above median.
         let median = pvtm_stats::histogram::quantile(&samples, 0.5);
-        assert!(s.mean() > median, "mean {:.3e} vs median {median:.3e}", s.mean());
+        assert!(
+            s.mean() > median,
+            "mean {:.3e} vs median {median:.3e}",
+            s.mean()
+        );
         // Coefficient of variation should be substantial (RDF-driven).
         assert!(s.std_dev() / s.mean() > 0.1);
     }

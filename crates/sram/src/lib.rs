@@ -37,6 +37,7 @@
 pub mod analysis;
 pub mod array;
 pub mod cell;
+pub mod evaluator;
 pub mod failure;
 pub mod leakage;
 pub mod optimizer;
@@ -44,6 +45,7 @@ pub mod optimizer;
 pub use analysis::{AnalysisConfig, CellAnalysis, Margins};
 pub use array::{ArrayOrganization, ArrayYield};
 pub use cell::{CellSizing, Conditions, SramCell, Xtor};
+pub use evaluator::CellEvaluator;
 pub use failure::{FailureAnalyzer, FailureProbs};
 pub use leakage::CellLeakageModel;
 pub use optimizer::SizeOptimizer;

@@ -11,6 +11,7 @@ use pvtm_circuit::CircuitError;
 
 use crate::analysis::AnalysisConfig;
 use crate::cell::{CellSizing, Conditions};
+use crate::evaluator::CellEvaluator;
 use crate::failure::FailureAnalyzer;
 use pvtm_device::Technology;
 
@@ -54,17 +55,33 @@ impl SizeOptimizer {
         self
     }
 
-    /// Log-domain failure probabilities of a candidate sizing.
-    fn log_probs(&self, sizing: CellSizing) -> Result<[f64; 4], CircuitError> {
+    /// One compiled evaluator for the whole search: candidate sizings only
+    /// change device geometry, which the templates re-patch per solve.
+    fn evaluator(&self, start: CellSizing) -> CellEvaluator {
+        FailureAnalyzer::new(&self.tech, start, self.config).evaluator()
+    }
+
+    /// Log-domain failure probabilities of a candidate sizing, evaluated
+    /// through a caller-held (retargeted) evaluator.
+    fn log_probs(
+        &self,
+        ev: &mut CellEvaluator,
+        sizing: CellSizing,
+    ) -> Result<[f64; 4], CircuitError> {
         let fa = FailureAnalyzer::new(&self.tech, sizing, self.config);
-        let p = fa.failure_probs(0.0, &self.cond)?.as_array();
+        ev.set_cell(fa.base());
+        let p = fa.failure_probs_with(ev, 0.0, &self.cond)?.as_array();
         // Floor avoids -inf for mechanisms that are effectively impossible.
         Ok(p.map(|x| x.max(1e-30).ln()))
     }
 
     /// Spread of the four log-probabilities (the balance objective).
-    fn balance_objective(&self, sizing: CellSizing) -> Result<f64, CircuitError> {
-        let lp = self.log_probs(sizing)?;
+    fn balance_objective(
+        &self,
+        ev: &mut CellEvaluator,
+        sizing: CellSizing,
+    ) -> Result<f64, CircuitError> {
+        let lp = self.log_probs(ev, sizing)?;
         let mean = lp.iter().sum::<f64>() / 4.0;
         Ok(lp.iter().map(|x| (x - mean).powi(2)).sum::<f64>().sqrt())
     }
@@ -80,7 +97,8 @@ impl SizeOptimizer {
     ///
     /// Propagates DC-solver failures encountered during evaluation.
     pub fn equalize_failures(&self, start: CellSizing) -> Result<SizingResult, CircuitError> {
-        self.search(start, |s| self.balance_objective(s))
+        let mut ev = self.evaluator(start);
+        self.search(start, |s| self.balance_objective(&mut ev, s))
     }
 
     /// Searches for widths minimizing the overall failure probability with
@@ -95,11 +113,12 @@ impl SizeOptimizer {
         start: CellSizing,
         area_budget: f64,
     ) -> Result<SizingResult, CircuitError> {
+        let mut ev = self.evaluator(start);
         self.search(start, |s| {
             if s.area() > area_budget {
                 return Ok(f64::INFINITY);
             }
-            let lp = self.log_probs(s)?;
+            let lp = self.log_probs(&mut ev, s)?;
             // Overall failure is dominated by the worst mechanism.
             Ok(lp.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)))
         })
@@ -166,10 +185,12 @@ mod tests {
     fn equalize_reduces_spread() {
         let tech = Technology::predictive_70nm();
         let cond = Conditions::active(&tech);
-        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
-            .with_max_evaluations(18);
+        let opt =
+            SizeOptimizer::new(&tech, AnalysisConfig::default(), cond).with_max_evaluations(18);
         let start = CellSizing::default_for(&tech);
-        let start_obj = opt.balance_objective(start).unwrap();
+        let start_obj = opt
+            .balance_objective(&mut opt.evaluator(start), start)
+            .unwrap();
         let result = opt.equalize_failures(start).unwrap();
         assert!(
             result.objective <= start_obj,
@@ -185,8 +206,8 @@ mod tests {
     fn minimize_respects_area_budget() {
         let tech = Technology::predictive_70nm();
         let cond = Conditions::active(&tech);
-        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
-            .with_max_evaluations(14);
+        let opt =
+            SizeOptimizer::new(&tech, AnalysisConfig::default(), cond).with_max_evaluations(14);
         let start = CellSizing::default_for(&tech);
         let budget = start.area() * 1.2;
         let result = opt.minimize_failure(start, budget).unwrap();
@@ -197,8 +218,8 @@ mod tests {
     fn bounds_clamp_widths() {
         let tech = Technology::predictive_70nm();
         let cond = Conditions::active(&tech);
-        let opt = SizeOptimizer::new(&tech, AnalysisConfig::default(), cond)
-            .with_max_evaluations(30);
+        let opt =
+            SizeOptimizer::new(&tech, AnalysisConfig::default(), cond).with_max_evaluations(30);
         let start = CellSizing::default_for(&tech);
         let result = opt.equalize_failures(start).unwrap();
         assert!(result.sizing.wpd >= start.wpd * 0.5 - 1e-15);

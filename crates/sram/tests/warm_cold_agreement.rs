@@ -1,0 +1,167 @@
+//! Warm-started vs cold DC solves on randomized 6T cells, plus the
+//! fig2a-style regression guard for the compiled-template evaluator.
+//!
+//! Contract under test (see `pvtm_sram::evaluator`):
+//!
+//! - with warm starts **disabled**, the evaluator replays the reference
+//!   `CellAnalysis` netlists, guesses, and solver strategy bit for bit;
+//! - with warm starts **enabled**, every voltage-domain margin agrees to
+//!   solver tolerance, and the log-domain hold margin to a few percent
+//!   (the droop is exponentially small, so the same voltage tolerance is
+//!   amplified in log units);
+//! - warm starting actually hits: adjacent Monte-Carlo-style samples reuse
+//!   the previous solution far more often than not.
+
+use proptest::prelude::*;
+
+use pvtm_device::Technology;
+use pvtm_sram::analysis::{AnalysisConfig, CellAnalysis};
+use pvtm_sram::evaluator::CellEvaluator;
+use pvtm_sram::{Conditions, FailureAnalyzer, SramCell};
+
+fn setup() -> (Technology, CellAnalysis, SramCell) {
+    let tech = Technology::predictive_70nm();
+    let analysis = CellAnalysis::new(&tech, AnalysisConfig::default());
+    let cell = SramCell::nominal(&tech);
+    (tech, analysis, cell)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Warm and cold solves agree on randomized cells: cold is
+    /// bit-identical to the reference analysis, warm within tolerance.
+    #[test]
+    fn warm_and_cold_margins_agree(
+        d0 in -0.05f64..0.05,
+        d1 in -0.05f64..0.05,
+        d2 in -0.05f64..0.05,
+        d3 in -0.05f64..0.05,
+        d4 in -0.05f64..0.05,
+        d5 in -0.05f64..0.05,
+        vsb in 0.0f64..0.45,
+    ) {
+        let (tech, analysis, cell) = setup();
+        let cond = Conditions::standby(&tech, vsb);
+        let dvt = [d0, d1, d2, d3, d4, d5];
+
+        let mut shifted = cell.clone();
+        shifted.set_deviations(dvt);
+        let reference = analysis.margins(&shifted, &cond).unwrap();
+
+        let mut cold = CellEvaluator::new(&analysis, &cell);
+        cold.set_warm_start(false);
+        cold.set_deviations(dvt);
+        let cold_m = cold.margins(&cond).unwrap();
+        prop_assert_eq!(cold_m.as_array(), reference.as_array());
+
+        let mut warm = CellEvaluator::new(&analysis, &cell);
+        warm.set_deviations(dvt);
+        // Solve twice so the second pass runs fully warm.
+        warm.margins(&cond).unwrap();
+        let warm_m = warm.margins(&cond).unwrap();
+        let tol = [1e-5, 1e-5, 1e-5, 0.05];
+        for ((w, r), t) in warm_m
+            .as_array()
+            .iter()
+            .zip(reference.as_array())
+            .zip(tol)
+        {
+            prop_assert!(
+                (w - r).abs() < t,
+                "warm {} vs reference {} (tol {}, dvt {:?}, vsb {})",
+                w, r, t, dvt, vsb
+            );
+        }
+    }
+}
+
+/// Fig. 2a-style regression: the raw failure metrics over the inter-die
+/// corner sweep are unchanged (to 1e-9; in fact bit-identical) between the
+/// pre-template reference path and the cold evaluator path that now backs
+/// `FailureAnalyzer::linearize`.
+#[test]
+fn fig2a_corner_metrics_regression() {
+    let (tech, analysis, cell) = setup();
+    let cond = Conditions::standby(&tech, 0.3);
+    for vt_inter in [-0.08, 0.0, 0.08] {
+        let shifted = cell.clone().with_inter_die_shift(vt_inter);
+        // Reference: the metric vector exactly as the pre-refactor
+        // FailureAnalyzer::metrics_at computed it, one netlist per solve.
+        let active = Conditions { vsb: 0.0, ..cond };
+        let reference = [
+            analysis.read_margin(&shifted, &active).unwrap(),
+            analysis.write_margin(&shifted, &active).unwrap(),
+            analysis.access_margin(&shifted, &active).unwrap(),
+            analysis.hold_metrics(&shifted, &cond).unwrap().droop.ln(),
+            analysis.hold_metrics(&shifted, &cond).unwrap().allowed,
+        ];
+        let mut ev = CellEvaluator::new(&analysis, &cell);
+        ev.set_warm_start(false);
+        ev.set_deviations(*shifted.deviations());
+        let fast = ev.metrics(&cond).unwrap();
+        for (k, (f, r)) in fast.iter().zip(reference).enumerate() {
+            assert!(
+                (f - r).abs() < 1e-9,
+                "metric {k} at corner {vt_inter}: {f} vs {r}"
+            );
+        }
+    }
+}
+
+/// The warm-start hit rate over a Monte-Carlo-style loop of adjacent
+/// samples must clear 90 % — the premise of the whole optimization.
+#[test]
+fn warm_hit_rate_over_mc_loop() {
+    let (tech, analysis, cell) = setup();
+    let cond = Conditions::standby(&tech, 0.3);
+    let mut ev = CellEvaluator::new(&analysis, &cell);
+    // Deterministic cheap LCG for sample-to-sample jitter.
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut unit = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..20 {
+        let dvt = std::array::from_fn(|_| (unit() - 0.5) * 0.06);
+        ev.set_deviations(dvt);
+        ev.margins(&cond).unwrap();
+    }
+    let stats = ev.stats();
+    eprintln!(
+        "warm-start stats over MC loop: {stats:?} (hit rate {:.3})",
+        stats.warm_hit_rate()
+    );
+    assert!(stats.warm_attempts > 100, "warm path unused: {stats:?}");
+    assert!(
+        stats.warm_hit_rate() >= 0.9,
+        "hit rate {:.3} below target ({} hits / {} attempts)",
+        stats.warm_hit_rate(),
+        stats.warm_hits,
+        stats.warm_attempts
+    );
+}
+
+/// The importance-sampled MC estimator (now running on per-chunk warm
+/// evaluators) still agrees with the linearized estimate at a stressed
+/// corner — the cross-check that guards the whole refactor end to end.
+#[test]
+fn failure_prob_mc_cross_checks_linearized() {
+    let tech = Technology::predictive_70nm();
+    let fa = FailureAnalyzer::new(
+        &tech,
+        pvtm_sram::CellSizing::default_for(&tech),
+        AnalysisConfig::default(),
+    );
+    let cond = Conditions::active(&tech);
+    let lin = fa.failure_probs(-0.12, &cond).unwrap().overall();
+    let mc = fa.failure_prob_mc(-0.12, &cond, 2000, 7).unwrap();
+    assert!(
+        mc.value < lin * 4.0 + 4.0 * mc.std_err && lin < mc.value * 4.0 + 4.0 * mc.std_err,
+        "linearized {lin:.3e} vs MC {:.3e} ± {:.1e}",
+        mc.value,
+        mc.std_err
+    );
+}

@@ -175,6 +175,25 @@ impl ImportanceSampler {
         seed: u64,
         event: impl Fn(&[f64]) -> bool + Sync,
     ) -> McEstimate {
+        self.probability_init(n, seed, || (), |(), z| event(z))
+    }
+
+    /// [`Self::probability`] with per-chunk worker state: `init` runs once
+    /// per parallel chunk and its result is passed (mutably) to every event
+    /// evaluation of that chunk.
+    ///
+    /// This is the entry point for stateful evaluators — e.g. compiled
+    /// circuit templates whose warm-started solver state must live on one
+    /// thread — without giving up chunk-level parallelism. The random
+    /// stream is identical to [`Self::probability`] for the same seed, so
+    /// the two produce the same estimate for equivalent events.
+    pub fn probability_init<S>(
+        &self,
+        n: u64,
+        seed: u64,
+        init: impl Fn() -> S + Sync,
+        event: impl Fn(&mut S, &[f64]) -> bool + Sync,
+    ) -> McEstimate {
         assert!(n > 0, "importance sampling needs at least one sample");
         let d = self.shift.len();
         let chunks = n.div_ceil(CHUNK);
@@ -186,6 +205,7 @@ impl ImportanceSampler {
                 let hi = ((c + 1) * CHUNK).min(n);
                 let mut s = Summary::new();
                 let mut z = vec![0.0f64; d];
+                let mut state = init();
                 for _ in lo..hi {
                     let mut dot = 0.0;
                     for (zi, &mi) in z.iter_mut().zip(&self.shift) {
@@ -193,7 +213,7 @@ impl ImportanceSampler {
                         *zi = g + mi;
                         dot += mi * *zi;
                     }
-                    let w = if event(&z) {
+                    let w = if event(&mut state, &z) {
                         (-dot + 0.5 * self.shift_norm2).exp()
                     } else {
                         0.0
@@ -272,7 +292,9 @@ mod tests {
         let exact = 1.0 - norm_cdf(3.0);
         let s = 3.0 / std::f64::consts::SQRT_2;
         let is = ImportanceSampler::new(vec![s, s]);
-        let est = is.probability(300_000, 17, |z| (z[0] + z[1]) / std::f64::consts::SQRT_2 > 3.0);
+        let est = is.probability(300_000, 17, |z| {
+            (z[0] + z[1]) / std::f64::consts::SQRT_2 > 3.0
+        });
         assert!((est.value - exact).abs() < 6.0 * est.std_err + 1e-9);
     }
 
@@ -299,5 +321,25 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn importance_sampler_rejects_empty_shift() {
         let _ = ImportanceSampler::new(vec![]);
+    }
+
+    #[test]
+    fn probability_init_matches_stateless_probability() {
+        // A per-chunk scratch buffer must not change the estimate: the
+        // random stream and weighting are identical to `probability`.
+        let is = ImportanceSampler::new(vec![3.0, 0.5]);
+        let plain = is.probability(100_000, 23, |z| z[0] + 0.1 * z[1] > 3.0);
+        let stateful = is.probability_init(
+            100_000,
+            23,
+            || vec![0.0f64; 2],
+            |buf, z| {
+                buf.copy_from_slice(z);
+                buf[0] + 0.1 * buf[1] > 3.0
+            },
+        );
+        assert_eq!(plain.value, stateful.value);
+        assert_eq!(plain.std_err, stateful.std_err);
+        assert_eq!(plain.samples, stateful.samples);
     }
 }

@@ -62,8 +62,7 @@ impl GaussHermite {
                     let p3 = p2;
                     p2 = p1;
                     let jf = j as f64;
-                    p1 = z * (2.0 / (jf + 1.0)).sqrt() * p2
-                        - (jf / (jf + 1.0)).sqrt() * p3;
+                    p1 = z * (2.0 / (jf + 1.0)).sqrt() * p2 - (jf / (jf + 1.0)).sqrt() * p3;
                 }
                 pp = (2.0 * nf).sqrt() * p2;
                 let z1 = z;

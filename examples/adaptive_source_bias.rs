@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = engine.calibrate(&mut die);
         println!("calibration trajectory (spare columns: {spares}):");
         for step in &outcome.steps {
-            let verdict = if step.faulty_columns <= spares { "pass" } else { "STOP" };
+            let verdict = if step.faulty_columns <= spares {
+                "pass"
+            } else {
+                "STOP"
+            };
             println!(
                 "  code {:>2} -> VSB {:.3} V : {:>2} faulty columns [{verdict}]",
                 step.code, step.vsb, step.faulty_columns
@@ -57,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let cells = engine.config().org.cells();
         let p0 = engine.leakage_grid().standby_power(corner, 0.0, cells);
-        let pa = engine.leakage_grid().standby_power(corner, outcome.vsb, cells);
+        let pa = engine
+            .leakage_grid()
+            .standby_power(corner, outcome.vsb, cells);
         println!(
             "standby power: {:.2} uW -> {:.2} uW ({:.1}x saving)",
             p0 * 1e6,

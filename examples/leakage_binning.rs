@@ -80,6 +80,10 @@ fn main() {
         "2048-cell array sums: KS statistic {:.3}, p = {:.3} (Gaussian {})",
         ks.statistic,
         ks.p_value,
-        if ks.accepts(0.01) { "accepted" } else { "rejected" }
+        if ks.accepts(0.01) {
+            "accepted"
+        } else {
+            "rejected"
+        }
     );
 }

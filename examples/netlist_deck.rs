@@ -55,8 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pull it over.
     let num_unknowns = ckt.num_nodes() - 1 + 4; // free nodes + 4 source branches
     let mut state = vec![0.0; num_unknowns];
-    for (node, v) in [("vdd", 1.0), ("wl", 1.0), ("bl", 0.0), ("br", 1.0), ("vl", 1.0), ("vr", 0.0)]
-    {
+    for (node, v) in [
+        ("vdd", 1.0),
+        ("wl", 1.0),
+        ("bl", 0.0),
+        ("br", 1.0),
+        ("vl", 1.0),
+        ("vr", 0.0),
+    ] {
         let id = ckt.find_node(node).expect("node exists");
         state[id.index() - 1] = v;
     }

@@ -13,8 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nmos = Mosfet::nmos(&tech, 200e-9, tech.lmin());
     let on = nmos.ids(Bias::new(tech.vdd(), tech.vdd(), 0.0, 0.0), tech.temp_k());
     let off = nmos.ids(Bias::new(0.0, tech.vdd(), 0.0, 0.0), tech.temp_k());
-    println!("NMOS 200n/70n: Ion = {:.1} uA, Ioff = {:.2} nA, Ion/Ioff = {:.0}",
-        on * 1e6, off * 1e9, on / off);
+    println!(
+        "NMOS 200n/70n: Ion = {:.1} uA, Ioff = {:.2} nA, Ion/Ioff = {:.0}",
+        on * 1e6,
+        off * 1e9,
+        on / off
+    );
 
     // 2. A 6T cell and its four failure-metric margins.
     let cell = SramCell::nominal(&tech);
@@ -27,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  hold   {:+.3} (ln allowed/actual droop)", margins.hold);
 
     // 3. Failure probabilities at three inter-die corners.
-    let fa = FailureAnalyzer::new(&tech, CellSizing::default_for(&tech), AnalysisConfig::default());
+    let fa = FailureAnalyzer::new(
+        &tech,
+        CellSizing::default_for(&tech),
+        AnalysisConfig::default(),
+    );
     println!("\ncell failure probabilities across corners:");
     for corner in [-0.1, 0.0, 0.1] {
         let p = fa.failure_probs(corner, &Conditions::standby(&tech, 0.5))?;

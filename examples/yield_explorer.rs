@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let zbb = response.parametric_yield(sigma, Policy::Zbb);
     let rep = response.parametric_yield(sigma, Policy::SelfRepair);
-    println!("\nparametric yield: ZBB {:.2}%  self-repairing {:.2}%", 100.0 * zbb, 100.0 * rep);
+    println!(
+        "\nparametric yield: ZBB {:.2}%  self-repairing {:.2}%",
+        100.0 * zbb,
+        100.0 * rep
+    );
 
     let l_max = 2.5 * response.array_leak_mean(0.0, Policy::Zbb);
     println!(

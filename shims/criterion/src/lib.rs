@@ -1,0 +1,271 @@
+//! Offline shim of the `criterion` benchmarking API surface used by the
+//! pvtm workspace: `Criterion`, `bench_function`, `benchmark_group`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per bench, a short warm-up calibrates the iteration
+//! count for a fixed time budget, then a handful of samples are timed and
+//! min / median / mean ns-per-iteration are printed. Results also land in
+//! a machine-readable line (`BENCH_JSON {...}`) so scripts can scrape them.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(120);
+const MEASURE: Duration = Duration::from_millis(360);
+const SAMPLES: usize = 12;
+
+/// Benchmark driver: filters from CLI args and runs benches.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the bench filter from CLI args, ignoring `--flags` (and their
+    /// values for the common cargo-bench flags).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" {
+                continue;
+            }
+            if a.starts_with("--") {
+                // Flags with a value we must skip.
+                if matches!(
+                    a.as_str(),
+                    "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                ) {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark if it matches the filter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(name) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(name);
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; `sample_size` is accepted for API compatibility.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim keeps its fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; the shim always rebuilds inputs
+/// untimed per sample, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// ns-per-iteration samples gathered by `iter`/`iter_batched`.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine` with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        if warm_iters > 0 {
+            let per_iter = WARMUP.as_secs_f64() / warm_iters as f64;
+            let budget = MEASURE.as_secs_f64() / SAMPLES as f64;
+            iters_per_sample = ((budget / per_iter) as u64).max(1);
+        }
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with setup excluded as well as possible.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut timed = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed += t0.elapsed();
+            warm_iters += 1;
+        }
+        if warm_iters > 0 && !timed.is_zero() {
+            let per_iter = timed.as_secs_f64() / warm_iters as f64;
+            let budget = MEASURE.as_secs_f64() / SAMPLES as f64;
+            iters_per_sample = ((budget / per_iter) as u64).clamp(1, 1 << 20);
+        }
+        for _ in 0..SAMPLES {
+            // Build the whole batch untimed, then time one tight loop.
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let n = self.samples_ns.len();
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[n / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / n as f64;
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        println!(
+            "BENCH_JSON {{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}}}"
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples_ns.len(), SAMPLES);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn group_and_filter() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        // Closure must not run: name does not contain the filter.
+        c.bench_function("other", |_| ran = true);
+        assert!(!ran);
+        assert!(c.matches("group/match-me-please"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline shim of the `rand_distr` crate: only the pieces the pvtm
+//! workspace uses (the [`Distribution`] trait and [`StandardNormal`]).
+
+use rand::{Rng, RngCore};
+
+/// A distribution samplable with any RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// Sampled by the Marsaglia polar method; one cached variate is *not* kept
+/// (each call draws fresh uniforms) so sampling is stateless and `Sync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+            let v: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite parameters or a negative standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err("invalid normal parameters");
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let g: f64 = StandardNormal.sample(rng);
+        self.mean + self.std_dev * g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        const N: usize = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..N {
+            let g: f64 = StandardNormal.sample(&mut rng);
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / N as f64;
+        let var = sum2 / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = Normal::new(3.0, 0.5).unwrap();
+        const N: usize = 100_000;
+        let mean: f64 = (0..N).map(|_| n.sample(&mut rng)).sum::<f64>() / N as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline shim of `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` without syn/quote.
+//!
+//! The parser walks the raw `TokenStream` of the item: enough to handle the
+//! shapes this workspace actually derives — non-generic structs with named
+//! fields, and enums with unit / newtype / tuple / struct variants. The
+//! generated `Serialize` impl targets the JSON-only `serde::Serialize`
+//! trait from the sibling shim; `Deserialize` expands to a marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants; named fields have `Some(name)` per field,
+    /// tuple fields `None` per field (the outer Vec length is the arity).
+    fields: Option<Vec<Option<String>>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts the item shape from the derive input tokens.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // the (crate)/(super) group
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported")
+            }
+            Some(_) => continue, // e.g. `where` clauses never appear here
+            None => panic!("serde_derive shim: `{name}` has no body"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: named_fields(body)
+                .into_iter()
+                .map(|f| f.expect("struct fields must be named"))
+                .collect(),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+/// Field names from a brace-delimited field list. Skips attributes and
+/// visibility; tracks `<...>` depth so commas inside generic types don't
+/// split fields. Returns `Some(name)` per named field.
+fn named_fields(body: TokenStream) -> Vec<Option<String>> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        fields.push(Some(field));
+        // Consume `: Type,` tracking angle-bracket depth.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Some(named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .fold((0i32, 0usize), |(depth, commas), tok| match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => (depth + 1, commas),
+                        TokenTree::Punct(p) if p.as_char() == '>' => (depth - 1, commas),
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            (depth, commas + 1)
+                        }
+                        _ => (depth, commas),
+                    })
+                    .1;
+                iter.next();
+                Some(vec![None; arity])
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Consume the optional discriminant and trailing comma.
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn struct_impl(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("w.begin_object();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "w.key(\"{f}\");\nserde::Serialize::serialize_json(&self.{f}, w);\n"
+        ));
+    }
+    body.push_str("w.end_object();");
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, w: &mut serde::JsonWriter) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn enum_impl(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            // Unit variant: "Name"
+            None => arms.push_str(&format!("{name}::{vn} => w.string(\"{vn}\"),\n")),
+            // Newtype variant: {"Name": value}
+            Some(fields) if fields.len() == 1 && fields[0].is_none() => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(v0) => {{\nw.begin_object();\nw.key(\"{vn}\");\n\
+                     serde::Serialize::serialize_json(v0, w);\nw.end_object();\n}}\n"
+                ));
+            }
+            // Tuple variant: {"Name": [v0, v1, ...]}
+            Some(fields) if fields.first().is_some_and(Option::is_none) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("v{i}")).collect();
+                let mut body = String::from("w.begin_array();\n");
+                for b in &binds {
+                    body.push_str(&format!("serde::Serialize::serialize_json({b}, w);\n"));
+                }
+                body.push_str("w.end_array();");
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\nw.begin_object();\nw.key(\"{vn}\");\n{body}\nw.end_object();\n}}\n",
+                    binds.join(", ")
+                ));
+            }
+            // Struct variant: {"Name": {"field": value, ...}}
+            Some(fields) => {
+                let names: Vec<&String> =
+                    fields.iter().map(|f| f.as_ref().expect("named")).collect();
+                let mut body = String::from("w.begin_object();\n");
+                for f in &names {
+                    body.push_str(&format!(
+                        "w.key(\"{f}\");\nserde::Serialize::serialize_json({f}, w);\n"
+                    ));
+                }
+                body.push_str("w.end_object();");
+                let binds = names
+                    .iter()
+                    .map(|f| f.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\nw.begin_object();\nw.key(\"{vn}\");\n{body}\nw.end_object();\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, w: &mut serde::JsonWriter) {{\nmatch self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+/// Derives the shim's JSON-only `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, fields } => struct_impl(&name, &fields),
+        Item::Enum { name, variants } => enum_impl(&name, &variants),
+    };
+    generated
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derives the shim's marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}

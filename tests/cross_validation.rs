@@ -85,7 +85,11 @@ fn array_leakage_follows_the_clt_prediction() {
         s.std_dev()
     );
     let ks = pvtm_stats::ks::ks_test(&arrays, |x| norm_cdf((x - s.mean()) / s.std_dev()));
-    assert!(ks.accepts(0.001), "array sums not Gaussian: p = {}", ks.p_value);
+    assert!(
+        ks.accepts(0.001),
+        "array sums not Gaussian: p = {}",
+        ks.p_value
+    );
 }
 
 #[test]
@@ -149,7 +153,9 @@ fn hold_model_probability_matches_direct_cell_sampling() {
         }
     }
     let empirical = fails as f64 / samples as f64;
-    let se = (analytic * (1.0 - analytic) / samples as f64).sqrt().max(1e-9);
+    let se = (analytic * (1.0 - analytic) / samples as f64)
+        .sqrt()
+        .max(1e-9);
     assert!(
         (empirical - analytic).abs() < 5.0 * se + 0.1 * analytic,
         "empirical {empirical:.3e} vs analytic {analytic:.3e}"

@@ -117,6 +117,12 @@ fn retention_faults_only_fire_above_their_threshold() {
     let f_low = engine.faulty_columns_at(&mut die, 0.30);
     let f_mid = engine.faulty_columns_at(&mut die, 0.55);
     let f_high = engine.faulty_columns_at(&mut die, 0.74);
-    assert!(f_low <= f_mid && f_mid <= f_high, "{f_low} / {f_mid} / {f_high}");
-    assert!(f_high > 0, "a low-Vt die must have retention faults at deep bias");
+    assert!(
+        f_low <= f_mid && f_mid <= f_high,
+        "{f_low} / {f_mid} / {f_high}"
+    );
+    assert!(
+        f_high > 0,
+        "a low-Vt die must have retention faults at deep bias"
+    );
 }

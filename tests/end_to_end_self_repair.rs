@@ -59,9 +59,7 @@ fn leakage_spread_is_compressed_by_repair() {
     let mem = memory();
     let resp = mem.response(&linspace(-0.25, 0.25, 9)).expect("response");
     // Spread proxy: array leakage ratio between the ±0.15 corners.
-    let spread = |p: Policy| {
-        resp.array_leak_mean(-0.15, p) / resp.array_leak_mean(0.15, p)
-    };
+    let spread = |p: Policy| resp.array_leak_mean(-0.15, p) / resp.array_leak_mean(0.15, p);
     let zbb = spread(Policy::Zbb);
     let rep = spread(Policy::SelfRepair);
     assert!(
