@@ -4,10 +4,15 @@
 //! Run one: `cargo bench --bench figures -- fig2a`
 //! Quick pass: `PVTM_EFFORT=quick cargo bench --bench figures`
 //!
-//! Results are printed as tables and written to `results/<id>.json`.
+//! Results are printed as tables and written to `results/<id>.json`, plus
+//! one JSONL record per figure in `results/figures.jsonl`. With
+//! `PVTM_TELEMETRY=full` each figure also writes a
+//! `results/<id>.telemetry.json` sidecar (spans, solver counters,
+//! Monte-Carlo convergence traces); `PVTM_QUIET=1` suppresses the
+//! human-readable tables.
 
 use pvtm::experiments as exp;
-use pvtm_bench::{effort_from_env, timed};
+use pvtm_bench::{effort_from_env, Reporter};
 
 fn wants(filter: &Option<String>, id: &str) -> bool {
     filter.as_deref().is_none_or(|f| id.contains(f))
@@ -18,111 +23,80 @@ fn main() {
     // free argument as a substring filter.
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with("--"));
     let effort = effort_from_env();
-    println!("== pvtm figure reproduction (effort: {effort:?}) ==\n");
+    let mut rep = Reporter::new();
+    println!(
+        "== pvtm figure reproduction (effort: {effort:?}, telemetry: {}) ==\n",
+        pvtm_telemetry::mode().as_str()
+    );
 
     let mut fig2c_result = None;
     let mut fig10_result = None;
 
     if wants(&filter, "fig2a") {
-        let r = timed("fig2a", || exp::fig2a(effort)).expect("fig2a failed");
-        println!("{r}");
-        exp::save_json("fig2a", &r).expect("write fig2a");
+        rep.figure("fig2a", || exp::fig2a(effort).expect("fig2a failed"));
     }
     if wants(&filter, "fig2b") {
-        let r = timed("fig2b", || exp::fig2b(effort)).expect("fig2b failed");
-        println!("{r}");
-        exp::save_json("fig2b", &r).expect("write fig2b");
+        rep.figure("fig2b", || exp::fig2b(effort).expect("fig2b failed"));
     }
     if wants(&filter, "fig2c") || wants(&filter, "headline") {
-        let r = timed("fig2c", || exp::fig2c(effort)).expect("fig2c failed");
-        println!("{r}");
-        exp::save_json("fig2c", &r).expect("write fig2c");
-        fig2c_result = Some(r);
+        fig2c_result = Some(rep.figure("fig2c", || exp::fig2c(effort).expect("fig2c failed")));
     }
     if wants(&filter, "fig3") {
-        let r = timed("fig3", || exp::fig3(effort));
-        println!("{r}");
-        exp::save_json("fig3", &r).expect("write fig3");
+        rep.figure("fig3", || exp::fig3(effort));
     }
     if wants(&filter, "fig4b") {
-        let r = timed("fig4b", || exp::fig4b(effort)).expect("fig4b failed");
-        println!("{r}");
-        exp::save_json("fig4b", &r).expect("write fig4b");
+        rep.figure("fig4b", || exp::fig4b(effort).expect("fig4b failed"));
     }
     if wants(&filter, "fig5a") {
-        let r = timed("fig5a", || exp::fig5a(effort));
-        println!("{r}");
-        exp::save_json("fig5a", &r).expect("write fig5a");
+        rep.figure("fig5a", || exp::fig5a(effort));
     }
     if wants(&filter, "fig5b") {
-        let r = timed("fig5b", || exp::fig5b(effort)).expect("fig5b failed");
-        println!("{r}");
-        exp::save_json("fig5b", &r).expect("write fig5b");
+        rep.figure("fig5b", || exp::fig5b(effort).expect("fig5b failed"));
     }
     if wants(&filter, "fig5c") {
-        let r = timed("fig5c", || exp::fig5c(effort)).expect("fig5c failed");
-        println!("{r}");
-        exp::save_json("fig5c", &r).expect("write fig5c");
+        rep.figure("fig5c", || exp::fig5c(effort).expect("fig5c failed"));
     }
     if wants(&filter, "fig6") {
-        let r = timed("fig6", || exp::fig6(effort)).expect("fig6 failed");
-        println!("{r}");
-        exp::save_json("fig6", &r).expect("write fig6");
+        rep.figure("fig6", || exp::fig6(effort).expect("fig6 failed"));
     }
     if wants(&filter, "fig8") {
-        let r = timed("fig8", || exp::fig8(effort)).expect("fig8 failed");
-        println!("{r}");
-        exp::save_json("fig8", &r).expect("write fig8");
+        rep.figure("fig8", || exp::fig8(effort).expect("fig8 failed"));
     }
     if wants(&filter, "fig9") {
-        let r = timed("fig9", || exp::fig9(effort)).expect("fig9 failed");
-        println!("{r}");
-        exp::save_json("fig9", &r).expect("write fig9");
+        rep.figure("fig9", || exp::fig9(effort).expect("fig9 failed"));
     }
     if wants(&filter, "fig10") || wants(&filter, "headline") {
-        let r = timed("fig10", || exp::fig10(effort)).expect("fig10 failed");
-        println!("{r}");
-        exp::save_json("fig10", &r).expect("write fig10");
-        fig10_result = Some(r);
+        fig10_result = Some(rep.figure("fig10", || exp::fig10(effort).expect("fig10 failed")));
     }
     if let (Some(f2c), Some(f10)) = (&fig2c_result, &fig10_result) {
-        let h = exp::headline(f2c, f10);
-        println!("{h}");
-        exp::save_json("headline", &h).expect("write headline");
+        rep.figure("headline", || exp::headline(f2c, f10));
     }
 
     // Ablations of the design choices (DESIGN.md §6).
     if wants(&filter, "ablation-monitor") {
-        let r = timed("ablation-monitor", || exp::ablation_monitor(effort))
-            .expect("ablation-monitor failed");
-        println!("{r}");
-        exp::save_json("ablation-monitor", &r).expect("write");
+        rep.figure("ablation-monitor", || {
+            exp::ablation_monitor(effort).expect("ablation-monitor failed")
+        });
     }
     if wants(&filter, "ablation-dac") {
-        let r = timed("ablation-dac", || exp::ablation_dac(effort)).expect("ablation-dac failed");
-        println!("{r}");
-        exp::save_json("ablation-dac", &r).expect("write");
+        rep.figure("ablation-dac", || {
+            exp::ablation_dac(effort).expect("ablation-dac failed")
+        });
     }
     if wants(&filter, "ablation-bias") {
-        let r = timed("ablation-bias", || exp::ablation_bias_levels(effort))
-            .expect("ablation-bias failed");
-        println!("{r}");
-        exp::save_json("ablation-bias", &r).expect("write");
+        rep.figure("ablation-bias", || {
+            exp::ablation_bias_levels(effort).expect("ablation-bias failed")
+        });
     }
     if wants(&filter, "ablation-march") {
-        let r = timed("ablation-march", || exp::ablation_march(effort));
-        println!("{r}");
-        exp::save_json("ablation-march", &r).expect("write");
+        rep.figure("ablation-march", || exp::ablation_march(effort));
     }
     if wants(&filter, "scaling") {
-        let r = timed("scaling", || exp::scaling(effort)).expect("scaling failed");
-        println!("{r}");
-        exp::save_json("scaling", &r).expect("write");
+        rep.figure("scaling", || exp::scaling(effort).expect("scaling failed"));
     }
     if wants(&filter, "ablation-temperature") {
-        let r = timed("ablation-temperature", || exp::ablation_temperature(effort));
-        println!("{r}");
-        exp::save_json("ablation-temperature", &r).expect("write");
+        rep.figure("ablation-temperature", || exp::ablation_temperature(effort));
     }
+    rep.finish();
     println!("done; JSON written to {}", exp::results_dir().display());
 }

@@ -1,0 +1,95 @@
+//! CI gate for telemetry sidecars.
+//!
+//! Usage: `check_telemetry <sidecar.json> [min_warm_hit_rate]`
+//!
+//! Validates that a `results/<id>.telemetry.json` sidecar written by the
+//! `figures` bench is well-formed and that the run it describes is
+//! healthy: the solver actually ran, the warm-start hit rate clears the
+//! floor, and at least one Monte-Carlo convergence trace was recorded.
+//! Exits non-zero with a diagnostic on the first violation.
+
+use std::process::ExitCode;
+
+use pvtm_telemetry::json::{self, Value};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_telemetry: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: check_telemetry <sidecar.json> [min_warm_hit_rate]");
+    };
+    let min_warm: f64 = match args.next() {
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => return fail(&format!("bad warm-hit-rate floor {s:?}")),
+        },
+        None => 0.0,
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc: Value = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("malformed JSON in {path}: {e}")),
+    };
+
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("pvtm-telemetry/1") => {}
+        other => return fail(&format!("unexpected schema {other:?}")),
+    }
+    let Some(id) = doc.get("id").and_then(Value::as_str) else {
+        return fail("missing id");
+    };
+
+    let Some(solver) = doc.get("solver") else {
+        return fail("missing solver section");
+    };
+    let solves = solver.get("solves").and_then(Value::as_u64).unwrap_or(0);
+    if solves == 0 {
+        return fail("no DC solves recorded — instrumentation did not run");
+    }
+    let warm = solver
+        .get("warm_hit_rate")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    if !(warm >= min_warm && warm <= 1.0) {
+        return fail(&format!(
+            "warm-hit rate {warm:.3} outside [{min_warm}, 1] ({solves} solves)"
+        ));
+    }
+
+    let traces = doc.get("traces").and_then(Value::as_array);
+    let trace_ok = traces.is_some_and(|ts| {
+        ts.iter().any(|t| {
+            t.get("points").and_then(Value::as_array).is_some_and(|ps| {
+                !ps.is_empty()
+                    && ps.iter().all(|p| {
+                        p.get("samples").and_then(Value::as_u64).unwrap_or(0) > 0
+                            && p.get("value").and_then(Value::as_f64).is_some()
+                    })
+            })
+        })
+    });
+    if !trace_ok {
+        return fail("no Monte-Carlo convergence trace with valid points");
+    }
+
+    if doc.get("mode").and_then(Value::as_str) == Some("full") {
+        let spans = doc.get("spans").and_then(Value::as_array);
+        if spans.is_none_or(|s| s.is_empty()) {
+            return fail("full mode but no spans recorded");
+        }
+    }
+
+    println!(
+        "check_telemetry: OK: {id} — {solves} solves, warm-hit {:.1}%, traces present",
+        100.0 * warm
+    );
+    ExitCode::SUCCESS
+}

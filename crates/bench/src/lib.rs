@@ -7,7 +7,13 @@
 //! - `benches/perf.rs` (`cargo bench --bench perf`) runs criterion
 //!   performance benchmarks of the substrates.
 
+use std::fmt::Display;
+use std::io::Write as _;
+use std::path::Path;
 use std::time::Instant;
+
+use pvtm_telemetry::json::{obj, Value};
+use serde::Serialize;
 
 /// Runs a closure, printing its wall-clock duration with a label.
 ///
@@ -27,6 +33,161 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Per-figure record kept for the end-of-run summary table.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// Figure id (`fig2a`, `scaling`, ...).
+    pub id: String,
+    /// Wall-clock seconds (0 when the telemetry clock is disabled, so
+    /// machine-readable outputs stay byte-identical across runs).
+    pub seconds: f64,
+    /// DC solves spent, from the merged telemetry solver counters.
+    pub solves: u64,
+    /// Warm-start hit rate over those solves.
+    pub warm_hit_rate: f64,
+    /// Newton iterations spent.
+    pub newton_iterations: u64,
+}
+
+/// Figure-run reporter: times each experiment, snapshots its telemetry,
+/// writes `results/<id>.json`, a `results/<id>.telemetry.json` sidecar in
+/// full mode, and one JSONL record per figure to `results/figures.jsonl`.
+///
+/// Human-readable tables go to stdout unless `PVTM_QUIET=1`, which keeps
+/// only the per-figure telemetry summary lines and the final compact
+/// table.
+#[derive(Debug, Default)]
+pub struct Reporter {
+    quiet: bool,
+    runs: Vec<FigureRun>,
+}
+
+impl Reporter {
+    /// Creates a reporter, reading `PVTM_QUIET` from the environment.
+    pub fn new() -> Self {
+        Self {
+            quiet: std::env::var("PVTM_QUIET").as_deref() == Ok("1"),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Whether human-readable figure tables are suppressed.
+    pub fn quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Runs one figure: resets telemetry, executes `f`, snapshots the
+    /// report, persists result JSON + sidecars and returns the value.
+    pub fn figure<T: Display + Serialize>(&mut self, id: &str, f: impl FnOnce() -> T) -> T {
+        pvtm_telemetry::reset();
+        let start = Instant::now();
+        let value = f();
+        let mut seconds = start.elapsed().as_secs_f64();
+        let report = pvtm_telemetry::snapshot();
+        if !pvtm_telemetry::clock_enabled() {
+            seconds = 0.0;
+        }
+
+        let result_path = pvtm::experiments::save_json(id, &value).expect("write result JSON");
+        let telemetry_path = if report.mode == pvtm_telemetry::Mode::Full {
+            let path = pvtm::experiments::results_dir().join(format!("{id}.telemetry.json"));
+            std::fs::write(&path, report.to_json_pretty(id)).expect("write telemetry sidecar");
+            Some(path)
+        } else {
+            None
+        };
+        self.append_jsonl(
+            id,
+            seconds,
+            &report,
+            &result_path,
+            telemetry_path.as_deref(),
+        );
+
+        if !self.quiet {
+            println!("{value}");
+        }
+        if report.mode >= pvtm_telemetry::Mode::Summary {
+            println!("{}", report.summary_line(id));
+        }
+        eprintln!("[{id}] completed in {seconds:.1} s");
+
+        self.runs.push(FigureRun {
+            id: id.to_string(),
+            seconds,
+            solves: report.solver.solves,
+            warm_hit_rate: report.solver.warm_hit_rate,
+            newton_iterations: report.solver.newton_iterations,
+        });
+        value
+    }
+
+    fn append_jsonl(
+        &self,
+        id: &str,
+        seconds: f64,
+        report: &pvtm_telemetry::Report,
+        result_path: &Path,
+        telemetry_path: Option<&Path>,
+    ) {
+        let line = obj(vec![
+            ("id", Value::Str(id.to_string())),
+            ("seconds", Value::Num(seconds)),
+            ("mode", Value::Str(report.mode.as_str().to_string())),
+            ("solves", Value::Num(report.solver.solves as f64)),
+            ("warm_hit_rate", Value::Num(report.solver.warm_hit_rate)),
+            (
+                "newton_iterations",
+                Value::Num(report.solver.newton_iterations as f64),
+            ),
+            ("result", Value::Str(result_path.display().to_string())),
+            (
+                "telemetry",
+                match telemetry_path {
+                    Some(p) => Value::Str(p.display().to_string()),
+                    None => Value::Null,
+                },
+            ),
+        ]);
+        let dir = pvtm::experiments::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("figures.jsonl");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open figures.jsonl");
+        writeln!(file, "{}", line.to_json()).expect("append figures.jsonl");
+    }
+
+    /// The per-figure records accumulated so far.
+    pub fn runs(&self) -> &[FigureRun] {
+        &self.runs
+    }
+
+    /// Prints the compact end-of-run summary table.
+    pub fn finish(&self) {
+        if self.runs.is_empty() {
+            return;
+        }
+        println!("\n== figure summary ==");
+        println!(
+            "{:<22} {:>9} {:>9} {:>7} {:>9}",
+            "id", "seconds", "solves", "warm%", "newton"
+        );
+        for r in &self.runs {
+            println!(
+                "{:<22} {:>9.1} {:>9} {:>7.1} {:>9}",
+                r.id,
+                r.seconds,
+                r.solves,
+                100.0 * r.warm_hit_rate,
+                r.newton_iterations
+            );
+        }
+    }
+}
+
 /// Selects the experiment effort from the `PVTM_EFFORT` environment
 /// variable (`quick` → quick; anything else → full).
 pub fn effort_from_env() -> pvtm::experiments::Effort {
@@ -43,5 +204,29 @@ mod tests {
     #[test]
     fn timed_returns_the_value() {
         assert_eq!(timed("t", || 7), 7);
+    }
+
+    #[test]
+    fn reporter_writes_result_json_and_jsonl() {
+        let dir = std::env::temp_dir().join("pvtm-bench-reporter-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("PVTM_RESULTS_DIR", &dir);
+        let mut rep = Reporter::new();
+        let v = rep.figure("unit-test-figure", || 3.5f64);
+        std::env::remove_var("PVTM_RESULTS_DIR");
+        assert_eq!(v, 3.5);
+        assert_eq!(rep.runs().len(), 1);
+        assert_eq!(rep.runs()[0].id, "unit-test-figure");
+        assert!(dir.join("unit-test-figure.json").is_file());
+        let jsonl = std::fs::read_to_string(dir.join("figures.jsonl")).unwrap();
+        let rec = pvtm_telemetry::json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            rec.get("id").and_then(Value::as_str),
+            Some("unit-test-figure")
+        );
+        // Telemetry defaults to off here, so no sidecar is written.
+        assert_eq!(rec.get("telemetry"), Some(&Value::Null));
+        assert!(!dir.join("unit-test-figure.telemetry.json").exists());
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

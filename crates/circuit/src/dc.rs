@@ -88,6 +88,14 @@ pub struct SolverStats {
     pub damped_retries: u64,
     /// Cold solves that fell through to the source-stepping ramp.
     pub source_ramps: u64,
+    /// LU factorizations (one per Newton linear solve).
+    pub lu_factorizations: u64,
+    /// Gmin-continuation stages run (each is one Newton solve at a fixed
+    /// Gmin).
+    pub gmin_steps: u64,
+    /// Source-ramp steps run (each is a full Gmin continuation at one
+    /// source scale).
+    pub ramp_steps: u64,
 }
 
 impl SolverStats {
@@ -109,6 +117,33 @@ impl SolverStats {
         self.cold_solves += other.cold_solves;
         self.damped_retries += other.damped_retries;
         self.source_ramps += other.source_ramps;
+        self.lu_factorizations += other.lu_factorizations;
+        self.gmin_steps += other.gmin_steps;
+        self.ramp_steps += other.ramp_steps;
+    }
+
+    /// The increments accumulated between a `before` snapshot and `self`,
+    /// as a telemetry delta (the per-solve record of
+    /// [`CircuitTemplate::solve`](crate::template::CircuitTemplate::solve)).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `before` is an earlier snapshot of the same
+    /// counters (every field monotonically non-decreasing).
+    pub fn delta_since(&self, before: &SolverStats) -> pvtm_telemetry::SolverDelta {
+        debug_assert!(self.solves >= before.solves, "stats went backwards");
+        pvtm_telemetry::SolverDelta {
+            solves: self.solves - before.solves,
+            newton_iterations: self.newton_iterations - before.newton_iterations,
+            lu_factorizations: self.lu_factorizations - before.lu_factorizations,
+            warm_attempts: self.warm_attempts - before.warm_attempts,
+            warm_hits: self.warm_hits - before.warm_hits,
+            cold_solves: self.cold_solves - before.cold_solves,
+            damped_retries: self.damped_retries - before.damped_retries,
+            source_ramps: self.source_ramps - before.source_ramps,
+            gmin_steps: self.gmin_steps - before.gmin_steps,
+            ramp_steps: self.ramp_steps - before.ramp_steps,
+        }
     }
 }
 
@@ -420,6 +455,7 @@ impl<'a> System<'a> {
                 return Ok(norm);
             }
             stats.newton_iterations += 1;
+            stats.lu_factorizations += 1;
             // Solve J Δx = -f.
             for i in 0..n {
                 rhs[i] = -res[i];
@@ -664,6 +700,7 @@ pub(crate) fn gmin_continuation(
 ) -> Result<(), CircuitError> {
     let mut gmin = opts.gmin_start;
     loop {
+        ws.stats.gmin_steps += 1;
         sys.newton(x, gmin, vsource_scale, None, opts, ws)?;
         if gmin <= opts.gmin_final {
             return Ok(());
@@ -681,6 +718,7 @@ fn source_ramp(
     ws: &mut DcWorkspace,
 ) -> Result<(), CircuitError> {
     for &alpha in &[0.25, 0.5, 0.75, 1.0] {
+        ws.stats.ramp_steps += 1;
         gmin_continuation(sys, x, opts, alpha, ws)?;
     }
     Ok(())

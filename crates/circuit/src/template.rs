@@ -226,6 +226,16 @@ impl CircuitTemplate {
     /// when every strategy fails; the warm seed is dropped so the next
     /// solve starts cold.
     pub fn solve(&mut self) -> Result<(), CircuitError> {
+        let _span = pvtm_telemetry::span("dc.solve");
+        let before = self.ws.stats;
+        let result = self.solve_inner();
+        if pvtm_telemetry::is_enabled() {
+            pvtm_telemetry::record_solver(&self.ws.stats.delta_since(&before));
+        }
+        result
+    }
+
+    fn solve_inner(&mut self) -> Result<(), CircuitError> {
         let sys = System::new(&self.netlist);
         debug_assert_eq!(sys.num_unknowns, self.num_unknowns);
         if self.warm_start && self.have_warm {

@@ -64,6 +64,7 @@ pub struct MonitorAblation {
 ///
 /// Propagates DC-solver failures.
 pub fn ablation_monitor(effort: Effort) -> Result<MonitorAblation, CircuitError> {
+    let _span = pvtm_telemetry::span("ablation_monitor");
     let (tech, sizing, config) = baseline();
     let cfg = SelfRepairConfig::default_70nm(64, 102);
     let memory = SelfRepairingMemory::new(cfg);
@@ -204,6 +205,7 @@ pub struct DacAblation {
 ///
 /// Propagates DC-solver failures.
 pub fn ablation_dac(effort: Effort) -> Result<DacAblation, CircuitError> {
+    let _span = pvtm_telemetry::span("ablation_dac");
     let (engine0, vsb_opt) = super::asb::build_engine(effort)?;
     let sigma = 0.06;
     let dies = effort.dies.clamp(24, 200);
@@ -284,6 +286,7 @@ pub struct BiasLevelAblation {
 ///
 /// Propagates DC-solver failures.
 pub fn ablation_bias_levels(effort: Effort) -> Result<BiasLevelAblation, CircuitError> {
+    let _span = pvtm_telemetry::span("ablation_bias_levels");
     let corners = linspace(-0.30, 0.30, effort.corners.max(7));
     let sigma = 0.12;
     let rows: Result<Vec<BiasLevelRow>, CircuitError> = [0.15f64, 0.30, 0.45, 0.60]
@@ -359,6 +362,7 @@ pub struct MarchAblation {
 /// stuck-at, transition, coupling and address-decoder faults — the
 /// trade-off behind the "March Test Algorithms" box of the paper's Fig. 7.
 pub fn ablation_march(effort: Effort) -> MarchAblation {
+    let _span = pvtm_telemetry::span("ablation_march");
     let trials = (effort.dies * 4).max(60);
     let faults_per_trial = 6;
     let tests = [
@@ -487,6 +491,7 @@ pub struct TemperatureAblation {
 /// that references calibrated cold misbin *every* hot die as low-Vt, so a
 /// real implementation must temperature-compensate the references.
 pub fn ablation_temperature(effort: Effort) -> TemperatureAblation {
+    let _span = pvtm_telemetry::span("ablation_temperature");
     let (tech, sizing, _) = baseline();
     let model = CellLeakageModel::new(&tech, sizing);
     let memory = SelfRepairingMemory::new(SelfRepairConfig::default_70nm(64, 102));

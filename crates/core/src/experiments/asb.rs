@@ -80,6 +80,7 @@ pub struct Fig6 {
 ///
 /// Propagates DC-solver failures.
 pub fn fig6(effort: Effort) -> Result<Fig6, CircuitError> {
+    let _span = pvtm_telemetry::span("fig6");
     let (tech, sizing, config) = baseline();
     let org = ArrayOrganization::with_capacity_kib(32, 0.05);
     let p_cell_target = cell_target_for_memory(&org, P_HF_TARGET);
@@ -182,6 +183,7 @@ fn memory_hold_prob(engine: &AsbEngine, org: &ArrayOrganization, corner: f64, vs
 ///
 /// Propagates DC-solver failures.
 pub fn fig8(effort: Effort) -> Result<Fig8, CircuitError> {
+    let _span = pvtm_telemetry::span("fig8");
     let (engine, vsb_opt) = build_engine(effort)?;
     let org = engine.config().org;
     let spares = org.redundant_cols;
@@ -270,6 +272,7 @@ pub struct Fig9 {
 ///
 /// Propagates DC-solver failures.
 pub fn fig9(effort: Effort) -> Result<Fig9, CircuitError> {
+    let _span = pvtm_telemetry::span("fig9");
     let (engine, vsb_opt) = build_engine(effort)?;
     let pop = engine.run_population(effort.dies.max(20), 0.06, vsb_opt, 0xF169);
 
@@ -371,6 +374,7 @@ pub struct Fig10 {
 ///
 /// Propagates DC-solver failures.
 pub fn fig10(effort: Effort) -> Result<Fig10, CircuitError> {
+    let _span = pvtm_telemetry::span("fig10");
     let (engine, vsb_opt) = build_engine(effort)?;
     let cells = engine.config().org.cells();
     let spares = engine.config().org.redundant_cols;

@@ -34,7 +34,7 @@ pub use asb::{
 };
 pub use repair::{
     fig2a, fig2b, fig2c, fig3, fig4b, fig5a, fig5b, fig5c, Fig2a, Fig2b, Fig2c, Fig3, Fig4b, Fig5a,
-    Fig5b, Fig5c,
+    Fig5b, Fig5c, McCrossCheck,
 };
 pub use scaling::{scaling, Scaling};
 
@@ -57,6 +57,10 @@ pub struct Effort {
     pub arrays: usize,
     /// Points on σ(Vt_inter) sweeps.
     pub sigmas: usize,
+    /// Samples for the importance-sampled Monte-Carlo cross-check
+    /// (Fig. 2a). Kept ≥ two Monte-Carlo chunks so the recorded
+    /// convergence trace has more than one point.
+    pub mc_samples: usize,
 }
 
 impl Effort {
@@ -68,6 +72,7 @@ impl Effort {
             cells: 2_000,
             arrays: 60,
             sigmas: 3,
+            mc_samples: 8_192,
         }
     }
 
@@ -79,6 +84,7 @@ impl Effort {
             cells: 20_000,
             arrays: 400,
             sigmas: 6,
+            mc_samples: 20_000,
         }
     }
 }

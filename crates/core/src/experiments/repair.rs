@@ -48,11 +48,30 @@ pub struct Fig2aRow {
     pub overall: f64,
 }
 
+/// Importance-sampled Monte-Carlo cross-check of the linearized failure
+/// estimate at one corner (exact circuit-solved margins, any mechanism
+/// failing counts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McCrossCheck {
+    /// Corner the check ran at (the sweep's worst corner).
+    pub vt_inter: f64,
+    /// Overall failure probability from the linearized model.
+    pub linearized: f64,
+    /// Monte-Carlo estimate of the same probability.
+    pub mc: f64,
+    /// Standard error of the Monte-Carlo estimate.
+    pub std_err: f64,
+    /// Samples spent.
+    pub samples: u64,
+}
+
 /// Fig. 2a: cell failure probabilities vs inter-die Vt shift.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig2a {
     /// Corner sweep.
     pub rows: Vec<Fig2aRow>,
+    /// Monte-Carlo cross-check at the worst corner.
+    pub mc_check: McCrossCheck,
 }
 
 /// Reproduces Fig. 2a: the V-shape of the overall cell failure probability
@@ -62,6 +81,7 @@ pub struct Fig2a {
 ///
 /// Propagates DC-solver failures.
 pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
+    let _span = pvtm_telemetry::span("fig2a");
     let (tech, sizing, config) = baseline();
     let fa = FailureAnalyzer::new(&tech, sizing, config);
     let cond = Conditions::standby(&tech, HOLD_VSB);
@@ -83,7 +103,32 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
             },
         )
         .collect();
-    Ok(Fig2a { rows: rows? })
+    let rows = rows?;
+    // Cross-check the linearization against the exact-margin Monte-Carlo
+    // estimator at the worst corner, leaving its chunk-level convergence
+    // trace in the telemetry report under "fig2a.mc".
+    let worst = rows
+        .iter()
+        .max_by(|a, b| {
+            a.overall
+                .partial_cmp(&b.overall)
+                .expect("finite probabilities")
+        })
+        .expect("non-empty sweep");
+    let est = {
+        let _trace = pvtm_telemetry::trace_scope("fig2a.mc");
+        fa.failure_prob_mc(worst.vt_inter, &cond, effort.mc_samples as u64, 0x2A17)?
+    };
+    Ok(Fig2a {
+        mc_check: McCrossCheck {
+            vt_inter: worst.vt_inter,
+            linearized: worst.overall,
+            mc: est.value,
+            std_err: est.std_err,
+            samples: est.samples,
+        },
+        rows,
+    })
 }
 
 impl fmt::Display for Fig2a {
@@ -106,7 +151,16 @@ impl fmt::Display for Fig2a {
                 fmt_p(r.overall)
             )?;
         }
-        Ok(())
+        let c = &self.mc_check;
+        writeln!(
+            f,
+            "MC cross-check @ {:.0} mV: linearized {} vs MC {} ± {} ({} samples)",
+            c.vt_inter * 1e3,
+            fmt_p(c.linearized),
+            fmt_p(c.mc),
+            fmt_p(c.std_err),
+            c.samples
+        )
     }
 }
 
@@ -144,6 +198,7 @@ pub struct Fig2b {
 ///
 /// Propagates DC-solver failures.
 pub fn fig2b(effort: Effort) -> Result<Fig2b, CircuitError> {
+    let _span = pvtm_telemetry::span("fig2b");
     let (tech, sizing, config) = baseline();
     let fa = FailureAnalyzer::new(&tech, sizing, config);
     let biases = linspace(-0.6, 0.6, effort.corners.max(5));
@@ -229,6 +284,7 @@ pub struct Fig2c {
 ///
 /// Propagates DC-solver failures.
 pub fn fig2c(effort: Effort) -> Result<Fig2c, CircuitError> {
+    let _span = pvtm_telemetry::span("fig2c");
     let corners = linspace(-0.30, 0.30, effort.corners.max(9));
     let mems: Vec<_> = [64usize, 256]
         .iter()
@@ -321,6 +377,7 @@ pub struct Fig3 {
 
 /// Reproduces Fig. 3: why the monitor senses the whole array.
 pub fn fig3(effort: Effort) -> Fig3 {
+    let _span = pvtm_telemetry::span("fig3");
     let (tech, sizing, _) = baseline();
     let model = CellLeakageModel::new(&tech, sizing);
     let cond = Conditions::active(&tech);
@@ -455,6 +512,7 @@ pub struct Fig4b {
 ///
 /// Propagates DC-solver failures.
 pub fn fig4b(effort: Effort) -> Result<Fig4b, CircuitError> {
+    let _span = pvtm_telemetry::span("fig4b");
     let memory = SelfRepairingMemory::new({
         let mut cfg = SelfRepairConfig::default_70nm(256, 8);
         cfg.org = pvtm_sram::ArrayOrganization::with_capacity_kib(256, 0.05);
@@ -531,6 +589,7 @@ pub struct Fig5a {
 /// rises (and the diode explodes under deep FBB), bounding the usable
 /// body-bias window.
 pub fn fig5a(effort: Effort) -> Fig5a {
+    let _span = pvtm_telemetry::span("fig5a");
     let (tech, sizing, _) = baseline();
     let model = CellLeakageModel::new(&tech, sizing);
     let cell = SramCell::nominal(&tech);
@@ -607,6 +666,7 @@ pub struct Fig5b {
 ///
 /// Propagates DC-solver failures.
 pub fn fig5b(effort: Effort) -> Result<Fig5b, CircuitError> {
+    let _span = pvtm_telemetry::span("fig5b");
     let memory = SelfRepairingMemory::new({
         let mut cfg = SelfRepairConfig::default_70nm(64, 8);
         cfg.org = pvtm_sram::ArrayOrganization::with_capacity_kib(64, 0.05);
@@ -690,6 +750,7 @@ pub struct Fig5c {
 ///
 /// Propagates DC-solver failures.
 pub fn fig5c(effort: Effort) -> Result<Fig5c, CircuitError> {
+    let _span = pvtm_telemetry::span("fig5c");
     let memory = SelfRepairingMemory::new({
         let mut cfg = SelfRepairConfig::default_70nm(64, 8);
         cfg.org = pvtm_sram::ArrayOrganization::with_capacity_kib(64, 0.05);
@@ -753,6 +814,12 @@ mod tests {
         assert!(first.read > last.read);
         assert!(last.access > first.access);
         assert!(last.write > first.write);
+        // The Monte-Carlo cross-check ran at the worst corner and is a
+        // sane probability.
+        let c = &result.mc_check;
+        assert_eq!(c.samples, Effort::quick().mc_samples as u64);
+        assert!(c.mc.is_finite() && (0.0..=1.0).contains(&c.mc));
+        assert!(c.linearized > 0.0);
     }
 
     #[test]

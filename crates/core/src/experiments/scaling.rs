@@ -51,6 +51,7 @@ pub struct Scaling {
 ///
 /// Propagates DC-solver failures.
 pub fn scaling(_effort: Effort) -> Result<Scaling, CircuitError> {
+    let _span = pvtm_telemetry::span("scaling");
     let nodes = [
         Technology::predictive_90nm(),
         Technology::predictive_70nm(),

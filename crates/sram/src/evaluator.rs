@@ -533,6 +533,7 @@ impl CellEvaluator {
     /// Propagates DC-solver failures (a non-convergent hold state itself is
     /// mapped to full retention collapse, as in the reference).
     pub fn hold_metrics(&mut self, cond: &Conditions) -> Result<HoldMetrics, CircuitError> {
+        let _span = pvtm_telemetry::span("eval.hold");
         let droop = match self.hold_state(cond) {
             Ok((vl, _)) => (cond.vdd - vl).max(1e-9),
             Err(CircuitError::NoConvergence { .. }) => cond.vdd - cond.vsb,
@@ -556,6 +557,7 @@ impl CellEvaluator {
     ///
     /// Propagates DC-solver failures.
     pub fn margins(&mut self, cond: &Conditions) -> Result<Margins, CircuitError> {
+        let _span = pvtm_telemetry::span("eval.margins");
         let active = Conditions { vsb: 0.0, ..*cond };
         let trip_rd = self.v_trip_rd(&active)?;
         let (v_read, i_read) = self.read_solution(&active)?;
@@ -579,6 +581,7 @@ impl CellEvaluator {
     ///
     /// Propagates DC-solver failures.
     pub fn metrics(&mut self, cond: &Conditions) -> Result<[f64; 5], CircuitError> {
+        let _span = pvtm_telemetry::span("eval.metrics");
         let active = Conditions { vsb: 0.0, ..*cond };
         let trip_rd = self.v_trip_rd(&active)?;
         let (v_read, i_read) = self.read_solution(&active)?;
@@ -603,6 +606,7 @@ impl CellEvaluator {
     ///
     /// Propagates DC-solver failures.
     pub fn static_write_margin(&mut self, cond: &Conditions) -> Result<f64, CircuitError> {
+        let _span = pvtm_telemetry::span("eval.swm");
         Ok(self.v_trip_wr(cond)? - self.write_level(cond)?)
     }
 }

@@ -381,6 +381,7 @@ impl FailureAnalyzer {
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<CellFailureModel, CircuitError> {
+        let _span = pvtm_telemetry::span("analyzer.linearize");
         let zero = [0.0; 6];
         let m0 = self.metrics_at_with(ev, &zero, vt_inter, cond)?;
         let mut sens = [[0.0f64; 6]; 5];
@@ -439,6 +440,7 @@ impl FailureAnalyzer {
         vt_inter: f64,
         cond: &Conditions,
     ) -> Result<HoldFailureModel, CircuitError> {
+        let _span = pvtm_telemetry::span("analyzer.linearize_hold");
         let mut eval = |z: &[f64; 6]| -> Result<(f64, f64), CircuitError> {
             self.apply_deviation(ev, z, vt_inter);
             let h = ev.hold_metrics(cond)?;
@@ -516,6 +518,13 @@ impl FailureAnalyzer {
         samples: u64,
         seed: u64,
     ) -> Result<McEstimate, CircuitError> {
+        let _span = pvtm_telemetry::span("analyzer.mc");
+        // Record a convergence trace under a default name unless the caller
+        // already opened a scope (e.g. an experiment naming its own figure).
+        let _trace = match pvtm_telemetry::active_trace() {
+            Some(_) => None,
+            None => Some(pvtm_telemetry::trace_scope("analyzer.mc")),
+        };
         let model = self.linearize(vt_inter, cond)?;
         // Shift toward the dominant mechanism's boundary: distance
         // m0/sigma along the normalized sensitivity direction (margin

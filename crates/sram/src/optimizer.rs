@@ -68,6 +68,8 @@ impl SizeOptimizer {
         ev: &mut CellEvaluator,
         sizing: CellSizing,
     ) -> Result<[f64; 4], CircuitError> {
+        let _span = pvtm_telemetry::span("optimizer.candidate");
+        pvtm_telemetry::counter_add("optimizer.candidates", 1);
         let fa = FailureAnalyzer::new(&self.tech, sizing, self.config);
         ev.set_cell(fa.base());
         let p = fa.failure_probs_with(ev, 0.0, &self.cond)?.as_array();

@@ -1,0 +1,149 @@
+//! End-to-end telemetry checks for the SRAM analysis stack.
+//!
+//! Telemetry state is process-global, so these tests live in their own
+//! integration binary (one process, serialized via a local mutex) rather
+//! than inside the unit-test binary where unrelated tests also drive the
+//! solver.
+
+use std::sync::Mutex;
+
+use pvtm_device::Technology;
+use pvtm_sram::analysis::AnalysisConfig;
+use pvtm_sram::cell::{CellSizing, Conditions};
+use pvtm_sram::failure::FailureAnalyzer;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn analyzer() -> FailureAnalyzer {
+    let tech = Technology::predictive_70nm();
+    FailureAnalyzer::new(
+        &tech,
+        CellSizing::default_for(&tech),
+        AnalysisConfig::default(),
+    )
+}
+
+/// The headline claim of the compiled-template PR, re-verified through the
+/// telemetry pipeline instead of by poking `SolverStats` directly: a
+/// linearization sweep warm-starts almost every solve.
+#[test]
+fn warm_hit_rate_through_telemetry_is_high() {
+    let _g = lock();
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Full);
+    pvtm_telemetry::reset();
+
+    let fa = analyzer();
+    let cond = Conditions::active(&Technology::predictive_70nm());
+    let mut ev = fa.evaluator();
+    for k in 0..3 {
+        fa.linearize_with(&mut ev, 0.01 * k as f64, &cond).unwrap();
+    }
+
+    let report = pvtm_telemetry::snapshot();
+    let s = &report.solver;
+    assert!(
+        s.solves > 100,
+        "expected hundreds of solves, got {}",
+        s.solves
+    );
+    assert_eq!(s.solves, s.warm_attempts + s.cold_solves);
+    assert!(
+        s.warm_hit_rate >= 0.90,
+        "warm-hit rate {:.3} below floor ({} hits / {} attempts)",
+        s.warm_hit_rate,
+        s.warm_hits,
+        s.warm_attempts,
+    );
+    assert!(s.lu_factorizations >= s.newton_iterations);
+
+    // The span tree covers the stack: linearize → margins/metrics → dc.
+    for path in ["analyzer.linearize", "dc.solve"] {
+        assert!(
+            report
+                .spans
+                .iter()
+                .any(|r| r.path.split('/').any(|p| p == path)),
+            "span {path:?} missing from {:?}",
+            report
+                .spans
+                .iter()
+                .map(|r| r.path.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // Newton iteration histogram carries every solve.
+    let h = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "solver.newton_per_solve")
+        .expect("newton histogram missing");
+    assert_eq!(
+        h.underflow + h.buckets.iter().map(|b| b.count).sum::<u64>(),
+        s.solves
+    );
+
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+    pvtm_telemetry::reset();
+}
+
+/// `failure_prob_mc` opens a default trace scope; its chunk trace must
+/// reconstruct to the returned estimate.
+#[test]
+fn failure_prob_mc_records_default_trace() {
+    let _g = lock();
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Summary);
+    pvtm_telemetry::reset();
+
+    let fa = analyzer();
+    let cond = Conditions::active(&Technology::predictive_70nm());
+    let est = fa.failure_prob_mc(0.0, &cond, 600, 7).unwrap();
+
+    let report = pvtm_telemetry::snapshot();
+    let t = report.trace("analyzer.mc").expect("default trace missing");
+    let last = t.points.last().unwrap();
+    assert_eq!(last.samples, est.samples);
+    assert_eq!(last.value, est.value);
+
+    // Importance-sampling weights were histogrammed whenever a failure hit.
+    if est.value > 0.0 {
+        assert!(report
+            .histograms
+            .iter()
+            .any(|h| h.name == "mc.is_weight" && h.count > 0));
+    }
+
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+    pvtm_telemetry::reset();
+}
+
+/// With telemetry off (the default), instrumented code records nothing and
+/// results are unchanged.
+#[test]
+fn disabled_mode_records_nothing_and_preserves_results() {
+    let _g = lock();
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+    pvtm_telemetry::reset();
+
+    let fa = analyzer();
+    let cond = Conditions::active(&Technology::predictive_70nm());
+    let on = {
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Full);
+        let m = fa.linearize(0.0, &cond).unwrap();
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+        pvtm_telemetry::reset();
+        m
+    };
+    let off = fa.linearize(0.0, &cond).unwrap();
+    assert_eq!(on.probs().as_array(), off.probs().as_array());
+
+    let report = pvtm_telemetry::snapshot();
+    assert_eq!(report.solver.solves, 0);
+    assert!(report.spans.is_empty());
+    assert!(report.histograms.is_empty());
+    assert!(report.traces.is_empty());
+}

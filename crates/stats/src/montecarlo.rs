@@ -46,6 +46,20 @@ impl McEstimate {
 /// overhead, small enough to spread across cores.
 const CHUNK: u64 = 4096;
 
+/// Captures the active telemetry trace label on the calling thread (worker
+/// threads have their own, empty, trace stacks) so chunk closures can
+/// record their running moments into it.
+fn trace_for_chunks() -> Option<pvtm_telemetry::TraceHandle> {
+    pvtm_telemetry::active_trace()
+}
+
+/// Records one finished chunk's moments into the enclosing trace scope.
+fn record_trace_chunk(trace: &Option<pvtm_telemetry::TraceHandle>, chunk: u64, s: &Summary) {
+    if let Some(t) = trace {
+        pvtm_telemetry::record_chunk(t, chunk, s.count(), s.mean(), s.m2());
+    }
+}
+
 /// Estimates `E[f(rng)]` with `n` samples, parallelized over chunks with
 /// independent deterministic substreams derived from `seed`.
 ///
@@ -62,6 +76,7 @@ const CHUNK: u64 = 4096;
 pub fn mc_mean(n: u64, seed: u64, f: impl Fn(&mut StdRng) -> f64 + Sync) -> McEstimate {
     assert!(n > 0, "mc_mean needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
+    let trace = trace_for_chunks();
     let summary = (0..chunks)
         .into_par_iter()
         .map(|c| {
@@ -72,6 +87,7 @@ pub fn mc_mean(n: u64, seed: u64, f: impl Fn(&mut StdRng) -> f64 + Sync) -> McEs
             for _ in lo..hi {
                 s.add(f(&mut rng));
             }
+            record_trace_chunk(&trace, c, &s);
             s
         })
         .reduce(Summary::new, |mut a, b| {
@@ -92,6 +108,7 @@ pub fn mc_mean(n: u64, seed: u64, f: impl Fn(&mut StdRng) -> f64 + Sync) -> McEs
 pub fn mc_probability(n: u64, seed: u64, event: impl Fn(&mut StdRng) -> bool + Sync) -> McEstimate {
     assert!(n > 0, "mc_probability needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
+    let trace = trace_for_chunks();
     let hits: u64 = (0..chunks)
         .into_par_iter()
         .map(|c| {
@@ -103,6 +120,13 @@ pub fn mc_probability(n: u64, seed: u64, event: impl Fn(&mut StdRng) -> bool + S
                 if event(&mut rng) {
                     h += 1;
                 }
+            }
+            if let Some(t) = &trace {
+                // Bernoulli moments of the chunk: mean p, M2 = h(1 - p)
+                // (a chunk of h ones and nc - h zeros has exactly these).
+                let nc = hi - lo;
+                let p = h as f64 / nc as f64;
+                pvtm_telemetry::record_chunk(t, c, nc, p, h as f64 * (1.0 - p));
             }
             h
         })
@@ -197,6 +221,7 @@ impl ImportanceSampler {
         assert!(n > 0, "importance sampling needs at least one sample");
         let d = self.shift.len();
         let chunks = n.div_ceil(CHUNK);
+        let trace = trace_for_chunks();
         let summary = (0..chunks)
             .into_par_iter()
             .map(|c| {
@@ -214,12 +239,18 @@ impl ImportanceSampler {
                         dot += mi * *zi;
                     }
                     let w = if event(&mut state, &z) {
-                        (-dot + 0.5 * self.shift_norm2).exp()
+                        let w = (-dot + 0.5 * self.shift_norm2).exp();
+                        // Weight spread is the health metric of a shifted
+                        // estimator: a long right tail means the shift
+                        // overshot and single samples dominate.
+                        pvtm_telemetry::hist_record("mc.is_weight", w);
+                        w
                     } else {
                         0.0
                     };
                     s.add(w);
                 }
+                record_trace_chunk(&trace, c, &s);
                 s
             })
             .reduce(Summary::new, |mut a, b| {
@@ -321,6 +352,77 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn importance_sampler_rejects_empty_shift() {
         let _ = ImportanceSampler::new(vec![]);
+    }
+
+    #[test]
+    fn trace_scope_records_convergence_without_changing_estimate() {
+        // Telemetry state is process-global; this is the only test in this
+        // binary that enables it.
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Summary);
+        pvtm_telemetry::reset();
+        let is = ImportanceSampler::new(vec![3.0]);
+        let plain = is.probability(20_000, 9, |z| z[0] > 3.0);
+        pvtm_telemetry::reset();
+        let traced = {
+            let _t = pvtm_telemetry::trace_scope("test.mc");
+            is.probability(20_000, 9, |z| z[0] > 3.0)
+        };
+        // Recording must not perturb the estimate.
+        assert_eq!(plain.value, traced.value);
+        assert_eq!(plain.std_err, traced.std_err);
+
+        let r = pvtm_telemetry::snapshot();
+        let t = r.trace("test.mc").expect("trace missing");
+        assert_eq!(t.points.len(), 20_000usize.div_ceil(4096));
+        for w in t.points.windows(2) {
+            assert!(w[1].samples > w[0].samples, "samples must accumulate");
+        }
+        let last = t.points.last().unwrap();
+        assert_eq!(last.samples, traced.samples);
+        // The running merge replays the same Chan updates the estimator
+        // itself performs, so the final trace point *is* the estimate.
+        assert_eq!(last.value, traced.value);
+        assert!((last.std_err - traced.std_err).abs() <= 1e-9 * traced.std_err);
+        assert!((last.rel_err - traced.rel_err()).abs() <= 1e-9 * traced.rel_err());
+
+        // Importance-sampling weights feed the health histogram.
+        let h = r
+            .histograms
+            .iter()
+            .find(|h| h.name == "mc.is_weight")
+            .expect("weight histogram missing");
+        assert!(h.count > 0);
+
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+        pvtm_telemetry::reset();
+    }
+
+    #[test]
+    fn mc_mean_and_probability_record_traces() {
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Summary);
+        pvtm_telemetry::reset();
+        {
+            let _t = pvtm_telemetry::trace_scope("test.mean");
+            let est = mc_mean(10_000, 3, |rng| rng.gen::<f64>());
+            let r = pvtm_telemetry::snapshot();
+            let last = *r.trace("test.mean").unwrap().points.last().unwrap();
+            assert_eq!(last.samples, 10_000);
+            assert_eq!(last.value, est.value);
+        }
+        pvtm_telemetry::reset();
+        {
+            let _t = pvtm_telemetry::trace_scope("test.prob");
+            let est = mc_probability(10_000, 3, |rng| rng.gen::<f64>() < 0.25);
+            let r = pvtm_telemetry::snapshot();
+            let last = *r.trace("test.prob").unwrap().points.last().unwrap();
+            assert_eq!(last.samples, 10_000);
+            assert_eq!(last.value, est.value);
+            // Welford-based running std_err vs the binomial formula: close
+            // but not identical by construction.
+            assert!((last.std_err - est.std_err).abs() < 0.1 * est.std_err);
+        }
+        pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+        pvtm_telemetry::reset();
     }
 
     #[test]

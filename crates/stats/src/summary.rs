@@ -99,6 +99,13 @@ impl Summary {
         self.mean
     }
 
+    /// Welford's `M2` — the sum of squared deviations from the mean. This
+    /// plus [`Self::count`] and [`Self::mean`] is the full merge state,
+    /// which is what telemetry convergence traces record per chunk.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
     /// Unbiased sample variance; 0 when fewer than two observations.
     pub fn variance(&self) -> f64 {
         if self.n < 2 {

@@ -1,0 +1,750 @@
+//! Zero-dependency observability for the pvtm workspace.
+//!
+//! Every reproduced figure hides thousands of Newton solves and rare-event
+//! Monte-Carlo samples; this crate makes their health visible without
+//! disturbing them:
+//!
+//! - **Hierarchical timed spans** ([`span`]): RAII guards that aggregate
+//!   `{count, total_ns}` per `/`-joined path in a thread-local collector.
+//! - **Typed counters, gauges and log2-bucketed histograms**
+//!   ([`counter_add`], [`gauge_set`], [`hist_record`]), plus a fixed-layout
+//!   fast path for the DC solver's per-solve deltas ([`record_solver`]).
+//! - **Convergence traces** ([`trace_scope`], [`record_chunk`]): Monte-Carlo
+//!   chunk loops snapshot their running moments every chunk, and the final
+//!   [`Report`] reconstructs a per-chunk `value / std_err / rel_err` series.
+//!
+//! # Modes
+//!
+//! Everything is gated by `PVTM_TELEMETRY=off|summary|full` (see [`Mode`];
+//! default **off**). The disabled path of every record function is a single
+//! atomic load. `summary` records counters, histograms, the solver fast
+//! path and traces; `full` additionally records timed spans.
+//!
+//! # Determinism
+//!
+//! Worker threads accumulate into thread-local collectors that merge into a
+//! process-global collector when each thread exits; under the workspace's
+//! rayon shim (scoped threads that join before a parallel call returns) the
+//! merged totals are independent of scheduling and chunk order, because
+//! every merge operation is commutative (integer adds; gauges keep the
+//! maximum). Traces are keyed by chunk index and sorted at snapshot time.
+//! With the monotonic clock disabled (`PVTM_TELEMETRY_CLOCK=off` or
+//! [`set_clock_enabled`]) span durations read as zero and an entire
+//! [`Report`] — spans included — renders byte-identically across runs.
+//!
+//! # Example
+//!
+//! ```
+//! use pvtm_telemetry as tm;
+//!
+//! tm::set_mode(tm::Mode::Full);
+//! tm::reset();
+//! {
+//!     let _outer = tm::span("figure");
+//!     let _inner = tm::span("corner");
+//!     tm::counter_add("corners", 1);
+//! }
+//! let report = tm::snapshot();
+//! assert_eq!(report.counter("corners"), 1);
+//! assert!(report.span("figure/corner").is_some());
+//! tm::set_mode(tm::Mode::Off);
+//! ```
+
+pub mod json;
+mod report;
+
+pub use report::{HistBucket, HistRow, Report, SolverSummary, SpanRow, TracePoint, TraceRow};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------- mode gate
+
+/// Telemetry recording level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mode {
+    /// Record nothing; every instrumentation call is one atomic load.
+    Off,
+    /// Record counters, gauges, histograms, solver deltas and traces.
+    Summary,
+    /// Everything in `Summary` plus timed spans.
+    Full,
+}
+
+impl Mode {
+    /// Stable lowercase name (`off` / `summary` / `full`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Summary => "summary",
+            Mode::Full => "full",
+        }
+    }
+}
+
+const MODE_UNSET: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+static CLOCK: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Current mode; initialized from `PVTM_TELEMETRY` on first use.
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Summary,
+        2 => Mode::Full,
+        _ => {
+            let m = mode_from_env();
+            set_mode(m);
+            m
+        }
+    }
+}
+
+fn mode_from_env() -> Mode {
+    match std::env::var("PVTM_TELEMETRY")
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "summary" => Mode::Summary,
+        "full" | "1" => Mode::Full,
+        _ => Mode::Off,
+    }
+}
+
+/// Overrides the mode (tests and harnesses; normally the env var decides).
+pub fn set_mode(m: Mode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Whether any recording is active (`mode() != Off`).
+pub fn is_enabled() -> bool {
+    mode() != Mode::Off
+}
+
+/// Whether span durations are read from the monotonic clock; initialized
+/// from `PVTM_TELEMETRY_CLOCK` (`off`/`0` disables) on first use.
+pub fn clock_enabled() -> bool {
+    match CLOCK.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("PVTM_TELEMETRY_CLOCK")
+                    .unwrap_or_default()
+                    .to_ascii_lowercase()
+                    .as_str(),
+                "off" | "0"
+            );
+            set_clock_enabled(on);
+            on
+        }
+    }
+}
+
+/// Enables or disables the monotonic clock. Disabled, span durations are
+/// recorded as zero and reports are byte-identical across runs.
+pub fn set_clock_enabled(on: bool) {
+    CLOCK.store(u8::from(on), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------- collector
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct SpanStat {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+}
+
+/// A log2-bucketed histogram: bucket `e` counts values in `[2^e, 2^(e+1))`.
+/// Non-positive and non-finite values land in `underflow`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Hist {
+    pub(crate) count: u64,
+    pub(crate) underflow: u64,
+    pub(crate) buckets: BTreeMap<i16, u64>,
+}
+
+impl Hist {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        match bucket_exp(v) {
+            Some(e) => *self.buckets.entry(e).or_insert(0) += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.underflow += other.underflow;
+        for (&e, &c) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += c;
+        }
+    }
+}
+
+/// Floor of log2 for a positive finite value, via the IEEE exponent field
+/// (exact — no rounding surprises at bucket edges).
+fn bucket_exp(v: f64) -> Option<i16> {
+    if !v.is_finite() || v <= 0.0 {
+        return None;
+    }
+    let biased = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    // Subnormals all collapse into the bottom bucket.
+    let e = if biased == 0 { -1023 } else { biased - 1023 };
+    Some(e as i16)
+}
+
+/// One solve's worth of DC-solver counter increments, recorded through a
+/// single thread-local access by [`record_solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverDelta {
+    /// Completed solves.
+    pub solves: u64,
+    /// Newton iterations.
+    pub newton_iterations: u64,
+    /// LU factorizations.
+    pub lu_factorizations: u64,
+    /// Warm-start attempts.
+    pub warm_attempts: u64,
+    /// Warm-start attempts that converged.
+    pub warm_hits: u64,
+    /// Cold solves (fallbacks included).
+    pub cold_solves: u64,
+    /// Cold solves that needed the damped retry.
+    pub damped_retries: u64,
+    /// Cold solves that fell through to the source ramp.
+    pub source_ramps: u64,
+    /// Gmin-continuation stages run.
+    pub gmin_steps: u64,
+    /// Source-ramp steps run.
+    pub ramp_steps: u64,
+}
+
+impl SolverDelta {
+    fn add(&mut self, other: &SolverDelta) {
+        self.solves += other.solves;
+        self.newton_iterations += other.newton_iterations;
+        self.lu_factorizations += other.lu_factorizations;
+        self.warm_attempts += other.warm_attempts;
+        self.warm_hits += other.warm_hits;
+        self.cold_solves += other.cold_solves;
+        self.damped_retries += other.damped_retries;
+        self.source_ramps += other.source_ramps;
+        self.gmin_steps += other.gmin_steps;
+        self.ramp_steps += other.ramp_steps;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Collector {
+    /// Current span path of this thread (`/`-joined names).
+    path: String,
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Hist>,
+    solver: SolverDelta,
+}
+
+impl Collector {
+    fn clear_stats(&mut self) {
+        self.spans.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+        self.solver = SolverDelta::default();
+    }
+
+    fn merge_into(&mut self, g: &mut Global) {
+        for (path, s) in std::mem::take(&mut self.spans) {
+            let e = g.spans.entry(path).or_default();
+            e.count += s.count;
+            e.total_ns += s.total_ns;
+        }
+        for (k, v) in std::mem::take(&mut self.counters) {
+            *g.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in std::mem::take(&mut self.gauges) {
+            // Deterministic regardless of merge order: keep the maximum.
+            let e = g.gauges.entry(k).or_insert(f64::NEG_INFINITY);
+            *e = e.max(v);
+        }
+        for (k, h) in std::mem::take(&mut self.hists) {
+            g.hists.entry(k).or_default().merge(&h);
+        }
+        g.solver.add(&self.solver);
+        self.solver = SolverDelta::default();
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // Worker threads flush here as they exit (the rayon shim joins its
+        // scoped workers before a parallel call returns, so totals are
+        // complete by the time the caller can snapshot).
+        self.merge_into(&mut global());
+    }
+}
+
+#[derive(Debug, Default)]
+struct Global {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Hist>,
+    solver: SolverDelta,
+    traces: BTreeMap<String, Vec<ChunkStat>>,
+}
+
+static GLOBAL: Mutex<Global> = Mutex::new(Global {
+    spans: BTreeMap::new(),
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    hists: BTreeMap::new(),
+    solver: SolverDelta {
+        solves: 0,
+        newton_iterations: 0,
+        lu_factorizations: 0,
+        warm_attempts: 0,
+        warm_hits: 0,
+        cold_solves: 0,
+        damped_retries: 0,
+        source_ramps: 0,
+        gmin_steps: 0,
+        ramp_steps: 0,
+    },
+    traces: BTreeMap::new(),
+});
+
+fn global() -> MutexGuard<'static, Global> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static LOCAL: RefCell<Collector> = RefCell::new(Collector::default());
+    static TRACE_STACK: RefCell<Vec<Arc<str>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the thread-local collector; silently skipped during thread
+/// teardown (after the TLS slot is destroyed).
+fn with_local(f: impl FnOnce(&mut Collector)) {
+    let _ = LOCAL.try_with(|c| f(&mut c.borrow_mut()));
+}
+
+// ---------------------------------------------------------------- spans
+
+/// RAII guard for a timed span; created by [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    /// Path length to restore on drop; `usize::MAX` marks an inactive guard.
+    prev_len: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.prev_len == usize::MAX {
+            return;
+        }
+        let ns = self
+            .start
+            .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let prev_len = self.prev_len;
+        with_local(|c| {
+            if let Some(s) = c.spans.get_mut(&c.path) {
+                s.count += 1;
+                s.total_ns += ns;
+            } else {
+                c.spans.insert(
+                    c.path.clone(),
+                    SpanStat {
+                        count: 1,
+                        total_ns: ns,
+                    },
+                );
+            }
+            c.path.truncate(prev_len);
+        });
+    }
+}
+
+/// Opens a timed span named `name`, nested under any span already open on
+/// this thread. Active only in [`Mode::Full`]; otherwise the guard is inert.
+///
+/// `name` must not contain `/` (the path separator).
+#[must_use = "a span measures the scope of its guard"]
+pub fn span(name: &str) -> SpanGuard {
+    if mode() != Mode::Full {
+        return SpanGuard {
+            start: None,
+            prev_len: usize::MAX,
+        };
+    }
+    debug_assert!(!name.contains('/'), "span name {name:?} contains '/'");
+    let mut prev_len = usize::MAX;
+    with_local(|c| {
+        prev_len = c.path.len();
+        if !c.path.is_empty() {
+            c.path.push('/');
+        }
+        c.path.push_str(name);
+    });
+    SpanGuard {
+        start: (prev_len != usize::MAX && clock_enabled()).then(Instant::now),
+        prev_len,
+    }
+}
+
+// ------------------------------------------------- counters / gauges / hists
+
+/// Adds `n` to the named counter. No-op unless `mode() >= Summary`.
+pub fn counter_add(name: &'static str, n: u64) {
+    if mode() == Mode::Off {
+        return;
+    }
+    with_local(|c| *c.counters.entry(name).or_insert(0) += n);
+}
+
+/// Records a gauge observation. Gauges merge across threads by keeping the
+/// **maximum**, which is order-independent. No-op unless `mode() >= Summary`.
+pub fn gauge_set(name: &'static str, v: f64) {
+    if mode() == Mode::Off {
+        return;
+    }
+    with_local(|c| {
+        let e = c.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+        *e = e.max(v);
+    });
+}
+
+/// Records `v` into the named log2-bucketed histogram (bucket `e` holds
+/// `[2^e, 2^(e+1))`; non-positive values count as underflow). No-op unless
+/// `mode() >= Summary`.
+pub fn hist_record(name: &'static str, v: f64) {
+    if mode() == Mode::Off {
+        return;
+    }
+    with_local(|c| c.hists.entry(name).or_default().record(v));
+}
+
+/// Records one solve's counter increments and a `solver.newton_per_solve`
+/// histogram sample, through a single thread-local access. This is the DC
+/// hot path: disabled cost is one atomic load. No-op unless
+/// `mode() >= Summary`.
+pub fn record_solver(delta: &SolverDelta) {
+    if mode() == Mode::Off {
+        return;
+    }
+    with_local(|c| {
+        c.solver.add(delta);
+        c.hists
+            .entry("solver.newton_per_solve")
+            .or_default()
+            .record(delta.newton_iterations as f64);
+    });
+}
+
+// ---------------------------------------------------------------- traces
+
+/// One Monte-Carlo chunk's running moments, recorded by [`record_chunk`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ChunkStat {
+    pub(crate) chunk: u64,
+    pub(crate) n: u64,
+    pub(crate) mean: f64,
+    pub(crate) m2: f64,
+}
+
+/// RAII guard naming the convergence trace that Monte-Carlo loops started
+/// inside its scope record into; created by [`trace_scope`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: bool,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = TRACE_STACK.try_with(|s| s.borrow_mut().pop());
+        }
+    }
+}
+
+/// Names the convergence trace for Monte-Carlo loops started while the
+/// guard lives (on this thread — estimators capture the label *before*
+/// fanning out, via [`active_trace`]). Nested scopes shadow outer ones.
+#[must_use = "the trace label lasts only while the guard lives"]
+pub fn trace_scope(name: &str) -> TraceGuard {
+    if mode() == Mode::Off {
+        return TraceGuard { active: false };
+    }
+    let mut active = false;
+    let _ = TRACE_STACK.try_with(|s| {
+        s.borrow_mut().push(Arc::from(name));
+        active = true;
+    });
+    TraceGuard { active }
+}
+
+/// Cloneable handle to the innermost active trace scope; what a chunked
+/// estimator captures on the calling thread and moves into its workers.
+#[derive(Debug, Clone)]
+pub struct TraceHandle(Arc<str>);
+
+/// The innermost active trace label, or `None` when disabled or unset.
+pub fn active_trace() -> Option<TraceHandle> {
+    if mode() == Mode::Off {
+        return None;
+    }
+    TRACE_STACK
+        .try_with(|s| s.borrow().last().cloned())
+        .ok()
+        .flatten()
+        .map(TraceHandle)
+}
+
+/// Records one chunk's running moments (`n` observations, Welford `mean`
+/// and `m2`) under the handle's trace. Chunks may arrive in any order from
+/// any thread; the report sorts by `chunk`.
+pub fn record_chunk(handle: &TraceHandle, chunk: u64, n: u64, mean: f64, m2: f64) {
+    if mode() == Mode::Off {
+        return;
+    }
+    global()
+        .traces
+        .entry(handle.0.to_string())
+        .or_default()
+        .push(ChunkStat { chunk, n, mean, m2 });
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+/// Flushes this thread's collector and snapshots the merged totals.
+///
+/// Call from the coordinating thread after parallel work completes (the
+/// rayon shim's workers have already flushed by exiting).
+pub fn snapshot() -> Report {
+    with_local(|c| c.merge_into(&mut global()));
+    report::build(&global(), mode(), clock_enabled())
+}
+
+/// Clears all recorded data (global and this thread's collector). The mode
+/// and clock settings are untouched. Open spans keep their path and will
+/// still record on drop.
+pub fn reset() {
+    with_local(Collector::clear_stats);
+    let mut g = global();
+    g.spans.clear();
+    g.counters.clear();
+    g.gauges.clear();
+    g.hists.clear();
+    g.solver = SolverDelta::default();
+    g.traces.clear();
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> MutexGuard<'static, ()> {
+    // Telemetry state is process-global; tests that touch it serialize.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _g = test_guard();
+        set_mode(Mode::Off);
+        reset();
+        {
+            let _s = span("should-not-appear");
+            counter_add("c", 5);
+            gauge_set("g", 1.0);
+            hist_record("h", 2.0);
+            record_solver(&SolverDelta {
+                solves: 1,
+                ..Default::default()
+            });
+            let _t = trace_scope("t");
+            assert!(active_trace().is_none());
+        }
+        let r = snapshot();
+        assert!(r.spans.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.histograms.is_empty());
+        assert!(r.traces.is_empty());
+        assert_eq!(r.solver.solves, 0);
+    }
+
+    #[test]
+    fn summary_mode_skips_spans_but_keeps_counters() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        {
+            let _s = span("quiet");
+            counter_add("c", 2);
+            counter_add("c", 3);
+        }
+        let r = snapshot();
+        assert!(r.spans.is_empty());
+        assert_eq!(r.counter("c"), 5);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = test_guard();
+        set_mode(Mode::Full);
+        reset();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+            }
+            {
+                let _b = span("inner");
+            }
+        }
+        let r = snapshot();
+        assert_eq!(r.span("outer").unwrap().count, 1);
+        assert_eq!(r.span("outer/inner").unwrap().count, 2);
+        assert!(r.span("inner").is_none());
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_exact() {
+        // Bucket e covers [2^e, 2^(e+1)): powers of two open their own
+        // bucket, the value just below belongs to the previous one.
+        assert_eq!(bucket_exp(1.0), Some(0));
+        assert_eq!(bucket_exp(1.999_999_9), Some(0));
+        assert_eq!(bucket_exp(2.0), Some(1));
+        assert_eq!(bucket_exp(4095.999), Some(11));
+        assert_eq!(bucket_exp(4096.0), Some(12));
+        assert_eq!(bucket_exp(0.5), Some(-1));
+        assert_eq!(bucket_exp(0.499), Some(-2));
+        assert_eq!(bucket_exp(0.0), None);
+        assert_eq!(bucket_exp(-1.0), None);
+        assert_eq!(bucket_exp(f64::INFINITY), None);
+        assert_eq!(bucket_exp(f64::NAN), None);
+    }
+
+    #[test]
+    fn histogram_counts_land_in_buckets() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        for v in [1.0, 1.5, 2.0, 3.0, 0.0, -4.0] {
+            hist_record("h", v);
+        }
+        let r = snapshot();
+        let h = r.histograms.iter().find(|h| h.name == "h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.underflow, 2);
+        let bucket = |e: i16| h.buckets.iter().find(|b| b.log2 == e).map(|b| b.count);
+        assert_eq!(bucket(0), Some(2));
+        assert_eq!(bucket(1), Some(2));
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn solver_deltas_accumulate_and_rate_derives() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        record_solver(&SolverDelta {
+            solves: 1,
+            newton_iterations: 3,
+            warm_attempts: 1,
+            warm_hits: 1,
+            ..Default::default()
+        });
+        record_solver(&SolverDelta {
+            solves: 1,
+            newton_iterations: 40,
+            warm_attempts: 1,
+            cold_solves: 1,
+            ..Default::default()
+        });
+        let r = snapshot();
+        assert_eq!(r.solver.solves, 2);
+        assert_eq!(r.solver.newton_iterations, 43);
+        assert!((r.solver.warm_hit_rate - 0.5).abs() < 1e-15);
+        let h = r
+            .histograms
+            .iter()
+            .find(|h| h.name == "solver.newton_per_solve")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn traces_sort_and_reconstruct_running_error() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        {
+            let _t = trace_scope("conv");
+            let h = active_trace().unwrap();
+            // Two chunks recorded out of order; each 100 samples of mean
+            // 2.0 / 4.0 with zero spread.
+            record_chunk(&h, 1, 100, 4.0, 0.0);
+            record_chunk(&h, 0, 100, 2.0, 0.0);
+        }
+        assert!(active_trace().is_none());
+        let r = snapshot();
+        let t = r.trace("conv").unwrap();
+        assert_eq!(t.points.len(), 2);
+        assert_eq!(t.points[0].chunk, 0);
+        assert_eq!(t.points[0].samples, 100);
+        assert_eq!(t.points[0].value, 2.0);
+        assert_eq!(t.points[1].samples, 200);
+        assert_eq!(t.points[1].value, 3.0);
+        assert!(t.points[1].rel_err > 0.0);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn nested_trace_scopes_shadow() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        let _a = trace_scope("outer");
+        {
+            let _b = trace_scope("inner");
+            let h = active_trace().unwrap();
+            record_chunk(&h, 0, 1, 1.0, 0.0);
+        }
+        let h = active_trace().unwrap();
+        record_chunk(&h, 0, 1, 5.0, 0.0);
+        drop(_a);
+        let r = snapshot();
+        assert_eq!(r.trace("inner").unwrap().points[0].value, 1.0);
+        assert_eq!(r.trace("outer").unwrap().points[0].value, 5.0);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = test_guard();
+        set_mode(Mode::Summary);
+        reset();
+        counter_add("c", 1);
+        let _ = snapshot();
+        reset();
+        let r = snapshot();
+        assert!(r.counters.is_empty());
+        assert_eq!(r.solver.solves, 0);
+        set_mode(Mode::Off);
+    }
+}

@@ -1,0 +1,512 @@
+//! Snapshot of the merged telemetry state, plus its JSON sidecar form.
+
+use crate::json::{obj, Value};
+use crate::{ChunkStat, Global, Mode};
+
+/// One span path's aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// `/`-joined span path.
+    pub path: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds inside the span (0 with the clock disabled).
+    pub total_ns: u64,
+}
+
+/// One log2 histogram bucket: counts values in `[2^log2, 2^(log2+1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Bucket exponent.
+    pub log2: i16,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One histogram's buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRow {
+    /// Metric name.
+    pub name: String,
+    /// Total observations (underflow included).
+    pub count: u64,
+    /// Non-positive / non-finite observations.
+    pub underflow: u64,
+    /// Occupied buckets in ascending exponent order.
+    pub buckets: Vec<HistBucket>,
+}
+
+/// Merged DC-solver counters with the derived warm-hit rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverSummary {
+    /// Completed solves.
+    pub solves: u64,
+    /// Newton iterations.
+    pub newton_iterations: u64,
+    /// LU factorizations.
+    pub lu_factorizations: u64,
+    /// Warm-start attempts.
+    pub warm_attempts: u64,
+    /// Warm-start attempts that converged.
+    pub warm_hits: u64,
+    /// Cold solves.
+    pub cold_solves: u64,
+    /// Damped retries.
+    pub damped_retries: u64,
+    /// Source-ramp fallbacks.
+    pub source_ramps: u64,
+    /// Gmin-continuation stages.
+    pub gmin_steps: u64,
+    /// Source-ramp steps.
+    pub ramp_steps: u64,
+    /// `warm_hits / warm_attempts`; 1.0 when no warm start was tried.
+    pub warm_hit_rate: f64,
+}
+
+/// One point of a convergence trace: the running estimate after a chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Chunk index (deterministic substream id).
+    pub chunk: u64,
+    /// Cumulative samples through this chunk.
+    pub samples: u64,
+    /// Running estimate (mean of the accumulated observations).
+    pub value: f64,
+    /// Running standard error.
+    pub std_err: f64,
+    /// Running relative error (`std_err / |value|`; infinite at 0).
+    pub rel_err: f64,
+}
+
+/// One named convergence trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Trace label (from [`crate::trace_scope`]).
+    pub name: String,
+    /// Running estimates in chunk order.
+    pub points: Vec<TracePoint>,
+}
+
+/// Snapshot of all merged telemetry, as returned by [`crate::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Mode the snapshot was taken under.
+    pub mode: Mode,
+    /// Whether span durations came from the monotonic clock.
+    pub clock: bool,
+    /// Span aggregates in path order.
+    pub spans: Vec<SpanRow>,
+    /// Counters in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms in name order.
+    pub histograms: Vec<HistRow>,
+    /// Merged DC-solver counters.
+    pub solver: SolverSummary,
+    /// Convergence traces in name order.
+    pub traces: Vec<TraceRow>,
+}
+
+pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
+    Report {
+        mode,
+        clock,
+        spans: g
+            .spans
+            .iter()
+            .map(|(path, s)| SpanRow {
+                path: path.clone(),
+                count: s.count,
+                total_ns: s.total_ns,
+            })
+            .collect(),
+        counters: g
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        gauges: g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: g
+            .hists
+            .iter()
+            .map(|(&name, h)| HistRow {
+                name: name.to_string(),
+                count: h.count,
+                underflow: h.underflow,
+                buckets: h
+                    .buckets
+                    .iter()
+                    .map(|(&log2, &count)| HistBucket { log2, count })
+                    .collect(),
+            })
+            .collect(),
+        solver: SolverSummary {
+            solves: g.solver.solves,
+            newton_iterations: g.solver.newton_iterations,
+            lu_factorizations: g.solver.lu_factorizations,
+            warm_attempts: g.solver.warm_attempts,
+            warm_hits: g.solver.warm_hits,
+            cold_solves: g.solver.cold_solves,
+            damped_retries: g.solver.damped_retries,
+            source_ramps: g.solver.source_ramps,
+            gmin_steps: g.solver.gmin_steps,
+            ramp_steps: g.solver.ramp_steps,
+            warm_hit_rate: if g.solver.warm_attempts == 0 {
+                1.0
+            } else {
+                g.solver.warm_hits as f64 / g.solver.warm_attempts as f64
+            },
+        },
+        traces: g
+            .traces
+            .iter()
+            .map(|(name, chunks)| TraceRow {
+                name: name.clone(),
+                points: running_points(chunks),
+            })
+            .collect(),
+    }
+}
+
+/// Reconstructs the running estimate after each chunk by merging the
+/// per-chunk Welford moments in chunk order (Chan's parallel update —
+/// deterministic, independent of the order chunks were recorded in).
+fn running_points(chunks: &[ChunkStat]) -> Vec<TracePoint> {
+    let mut sorted: Vec<ChunkStat> = chunks.to_vec();
+    sorted.sort_by_key(|c| c.chunk);
+    let (mut n, mut mean, mut m2) = (0u64, 0.0f64, 0.0f64);
+    sorted
+        .iter()
+        .map(|c| {
+            if n == 0 {
+                (n, mean, m2) = (c.n, c.mean, c.m2);
+            } else if c.n > 0 {
+                let n1 = n as f64;
+                let n2 = c.n as f64;
+                let delta = c.mean - mean;
+                let total = n1 + n2;
+                mean += delta * n2 / total;
+                m2 += c.m2 + delta * delta * n1 * n2 / total;
+                n += c.n;
+            }
+            let variance = if n < 2 { 0.0 } else { m2 / (n - 1) as f64 };
+            let std_err = if n == 0 {
+                0.0
+            } else {
+                (variance / n as f64).sqrt()
+            };
+            let rel_err = if mean == 0.0 {
+                f64::INFINITY
+            } else {
+                std_err / mean.abs()
+            };
+            TracePoint {
+                chunk: c.chunk,
+                samples: n,
+                value: mean,
+                std_err,
+                rel_err,
+            }
+        })
+        .collect()
+}
+
+impl Report {
+    /// A counter's merged value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// A span aggregate by `/`-joined path.
+    pub fn span(&self, path: &str) -> Option<&SpanRow> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// A convergence trace by name.
+    pub fn trace(&self, name: &str) -> Option<&TraceRow> {
+        self.traces.iter().find(|t| t.name == name)
+    }
+
+    /// The sidecar document (`results/<id>.telemetry.json` schema) as a
+    /// JSON tree.
+    pub fn to_value(&self, id: &str) -> Value {
+        obj(vec![
+            ("schema", Value::Str("pvtm-telemetry/1".into())),
+            ("id", Value::Str(id.into())),
+            ("mode", Value::Str(self.mode.as_str().into())),
+            ("clock", Value::Bool(self.clock)),
+            (
+                "solver",
+                obj(vec![
+                    ("solves", Value::Num(self.solver.solves as f64)),
+                    (
+                        "newton_iterations",
+                        Value::Num(self.solver.newton_iterations as f64),
+                    ),
+                    (
+                        "lu_factorizations",
+                        Value::Num(self.solver.lu_factorizations as f64),
+                    ),
+                    (
+                        "warm_attempts",
+                        Value::Num(self.solver.warm_attempts as f64),
+                    ),
+                    ("warm_hits", Value::Num(self.solver.warm_hits as f64)),
+                    ("cold_solves", Value::Num(self.solver.cold_solves as f64)),
+                    (
+                        "damped_retries",
+                        Value::Num(self.solver.damped_retries as f64),
+                    ),
+                    ("source_ramps", Value::Num(self.solver.source_ramps as f64)),
+                    ("gmin_steps", Value::Num(self.solver.gmin_steps as f64)),
+                    ("ramp_steps", Value::Num(self.solver.ramp_steps as f64)),
+                    ("warm_hit_rate", Value::Num(self.solver.warm_hit_rate)),
+                ]),
+            ),
+            (
+                "counters",
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Value::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Value::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("name", Value::Str(h.name.clone())),
+                                ("count", Value::Num(h.count as f64)),
+                                ("underflow", Value::Num(h.underflow as f64)),
+                                (
+                                    "buckets",
+                                    Value::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|b| {
+                                                obj(vec![
+                                                    ("log2", Value::Num(f64::from(b.log2))),
+                                                    (
+                                                        "lo",
+                                                        Value::Num(2.0f64.powi(i32::from(b.log2))),
+                                                    ),
+                                                    ("count", Value::Num(b.count as f64)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Value::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("path", Value::Str(s.path.clone())),
+                                ("count", Value::Num(s.count as f64)),
+                                ("total_ns", Value::Num(s.total_ns as f64)),
+                                (
+                                    "mean_ns",
+                                    Value::Num(if s.count == 0 {
+                                        0.0
+                                    } else {
+                                        s.total_ns as f64 / s.count as f64
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "traces",
+                Value::Arr(
+                    self.traces
+                        .iter()
+                        .map(|t| {
+                            obj(vec![
+                                ("name", Value::Str(t.name.clone())),
+                                (
+                                    "points",
+                                    Value::Arr(
+                                        t.points
+                                            .iter()
+                                            .map(|p| {
+                                                obj(vec![
+                                                    ("chunk", Value::Num(p.chunk as f64)),
+                                                    ("samples", Value::Num(p.samples as f64)),
+                                                    ("value", Value::Num(p.value)),
+                                                    ("std_err", Value::Num(p.std_err)),
+                                                    ("rel_err", Value::Num(p.rel_err)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The sidecar document as pretty-printed JSON text.
+    pub fn to_json_pretty(&self, id: &str) -> String {
+        let mut s = self.to_value(id).to_json_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// One compact human line summarizing the run — the per-figure row of
+    /// the summary table.
+    pub fn summary_line(&self, id: &str) -> String {
+        let mut line = format!(
+            "[telemetry {id}] solves={} warm={:.1}% newton={} lu={}",
+            self.solver.solves,
+            self.solver.warm_hit_rate * 100.0,
+            self.solver.newton_iterations,
+            self.solver.lu_factorizations,
+        );
+        let fallbacks = self.solver.damped_retries + self.solver.source_ramps;
+        if fallbacks > 0 {
+            line.push_str(&format!(" fallbacks={fallbacks}"));
+        }
+        for t in &self.traces {
+            if let Some(p) = t.points.last() {
+                line.push_str(&format!(
+                    " {}: {:.3e}±{:.0e} ({} chunks)",
+                    t.name,
+                    p.value,
+                    p.std_err,
+                    t.points.len()
+                ));
+            }
+        }
+        if self.mode == Mode::Full {
+            line.push_str(&format!(" spans={}", self.spans.len()));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{json, test_guard, Mode};
+
+    #[test]
+    fn sidecar_json_round_trips_and_has_schema() {
+        let _g = test_guard();
+        crate::set_mode(Mode::Full);
+        crate::set_clock_enabled(false);
+        crate::reset();
+        {
+            let _s = crate::span("fig");
+            crate::counter_add("eval.margins", 3);
+            crate::record_solver(&crate::SolverDelta {
+                solves: 1,
+                newton_iterations: 2,
+                warm_attempts: 1,
+                warm_hits: 1,
+                ..Default::default()
+            });
+            let _t = crate::trace_scope("fig.mc");
+            let h = crate::active_trace().unwrap();
+            crate::record_chunk(&h, 0, 4096, 1e-4, 1e-6);
+        }
+        let r = crate::snapshot();
+        let text = r.to_json_pretty("fig");
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pvtm-telemetry/1"));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("fig"));
+        assert_eq!(
+            v.get("solver").unwrap().get("solves").unwrap().as_u64(),
+            Some(1)
+        );
+        let rate = v
+            .get("solver")
+            .unwrap()
+            .get("warm_hit_rate")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((rate - 1.0).abs() < 1e-15);
+        let traces = v.get("traces").unwrap().as_array().unwrap();
+        assert_eq!(traces[0].get("name").unwrap().as_str(), Some("fig.mc"));
+        let pts = traces[0].get("points").unwrap().as_array().unwrap();
+        assert_eq!(pts[0].get("samples").unwrap().as_u64(), Some(4096));
+        crate::set_mode(Mode::Off);
+        crate::set_clock_enabled(true);
+    }
+
+    #[test]
+    fn clock_off_reports_are_byte_identical() {
+        let _g = test_guard();
+        crate::set_mode(Mode::Full);
+        crate::set_clock_enabled(false);
+        let run = || {
+            crate::reset();
+            {
+                let _a = crate::span("outer");
+                for _ in 0..3 {
+                    let _b = crate::span("inner");
+                    crate::counter_add("n", 1);
+                    crate::hist_record("h", 3.0);
+                }
+            }
+            crate::snapshot().to_json_pretty("det")
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second);
+        assert!(first.contains("\"total_ns\": 0"));
+        crate::set_mode(Mode::Off);
+        crate::set_clock_enabled(true);
+    }
+
+    #[test]
+    fn summary_line_is_compact() {
+        let _g = test_guard();
+        crate::set_mode(Mode::Summary);
+        crate::reset();
+        crate::record_solver(&crate::SolverDelta {
+            solves: 10,
+            newton_iterations: 25,
+            warm_attempts: 10,
+            warm_hits: 9,
+            cold_solves: 1,
+            damped_retries: 1,
+            ..Default::default()
+        });
+        let line = crate::snapshot().summary_line("fig2a");
+        assert!(line.contains("fig2a"));
+        assert!(line.contains("solves=10"));
+        assert!(line.contains("warm=90.0%"));
+        assert!(line.contains("fallbacks=1"));
+        crate::set_mode(Mode::Off);
+    }
+}

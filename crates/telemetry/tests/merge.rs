@@ -1,0 +1,127 @@
+//! Thread-local collector merge under the rayon shim's `map_init`
+//! parallelism: merged totals must be independent of how work was chunked
+//! across worker threads.
+
+use pvtm_telemetry as tm;
+use rayon::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    // Telemetry state is process-global; serialize the tests in this binary.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn parallel_workload(items: usize) -> tm::Report {
+    tm::reset();
+    let _figure = tm::span("workload");
+    let total: u64 = (0..items)
+        .into_par_iter()
+        .map_init(
+            || (),
+            |(), i| {
+                let _s = tm::span("item");
+                tm::counter_add("items", 1);
+                tm::hist_record("value", (i + 1) as f64);
+                tm::record_solver(&tm::SolverDelta {
+                    solves: 1,
+                    newton_iterations: 2,
+                    warm_attempts: 1,
+                    warm_hits: u64::from(i % 10 != 0),
+                    ..Default::default()
+                });
+                1u64
+            },
+        )
+        .sum();
+    assert_eq!(total as usize, items);
+    drop(_figure);
+    tm::snapshot()
+}
+
+#[test]
+fn map_init_merge_is_exact_and_chunking_independent() {
+    let _g = lock();
+    tm::set_mode(tm::Mode::Full);
+    tm::set_clock_enabled(false);
+
+    let items = 500;
+    let r = parallel_workload(items);
+
+    // Exact totals: every worker thread's collector merged exactly once.
+    assert_eq!(r.counter("items"), items as u64);
+    assert_eq!(r.solver.solves, items as u64);
+    assert_eq!(r.solver.warm_attempts, items as u64);
+    assert_eq!(r.solver.warm_hits, items as u64 - items as u64 / 10);
+    let h = r.histograms.iter().find(|h| h.name == "value").unwrap();
+    assert_eq!(h.count, items as u64);
+    assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), items as u64);
+
+    // Spans: worker threads have no parent span (the `workload` span lives
+    // on the coordinating thread), so items aggregate under their own root —
+    // except on a single-core host, where the shim runs inline and the item
+    // spans nest under the caller's open span.
+    assert_eq!(r.span("workload").unwrap().count, 1);
+    let item_path = if rayon::current_num_threads() > 1 {
+        "item"
+    } else {
+        "workload/item"
+    };
+    assert_eq!(r.span(item_path).unwrap().count, items as u64);
+
+    // Re-running the identical workload merges to the identical report —
+    // scheduling and work-stealing order must not show through.
+    let again = parallel_workload(items);
+    assert_eq!(r, again);
+    assert_eq!(
+        r.to_json_pretty("merge"),
+        again.to_json_pretty("merge"),
+        "clock-off reports must be byte-identical"
+    );
+
+    tm::set_mode(tm::Mode::Off);
+    tm::set_clock_enabled(true);
+}
+
+#[test]
+fn trace_chunks_recorded_from_workers_reconstruct_in_order() {
+    let _g = lock();
+    tm::set_mode(tm::Mode::Summary);
+    tm::reset();
+
+    {
+        let _t = tm::trace_scope("par.trace");
+        // Capture on the coordinating thread, move into the workers — the
+        // same pattern the Monte-Carlo chunk loops use.
+        let handle = tm::active_trace().unwrap();
+        (0..8u64).into_par_iter().for_each(|c| {
+            tm::record_chunk(&handle, c, 100, c as f64, 0.0);
+        });
+    }
+
+    let r = tm::snapshot();
+    let t = r.trace("par.trace").unwrap();
+    assert_eq!(t.points.len(), 8);
+    for (i, p) in t.points.iter().enumerate() {
+        assert_eq!(p.chunk, i as u64);
+        assert_eq!(p.samples, 100 * (i as u64 + 1));
+    }
+    // Running mean of 0..=k is k/2 at every prefix.
+    assert_eq!(t.points[7].value, 3.5);
+
+    tm::set_mode(tm::Mode::Off);
+}
+
+#[test]
+fn disabled_mode_stays_silent_under_parallelism() {
+    let _g = lock();
+    tm::set_mode(tm::Mode::Off);
+    tm::reset();
+    (0..64usize).into_par_iter().for_each(|_| {
+        let _s = tm::span("ghost");
+        tm::counter_add("ghost", 1);
+    });
+    let r = tm::snapshot();
+    assert!(r.spans.is_empty());
+    assert!(r.counters.is_empty());
+}
