@@ -10,12 +10,14 @@
 use std::fmt::Display;
 use std::io::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
+use pvtm_telemetry::clock::Stopwatch;
 use pvtm_telemetry::json::{obj, Value};
 use serde::Serialize;
 
-/// Runs a closure, printing its wall-clock duration with a label.
+/// Runs a closure, printing its wall-clock duration with a label. The
+/// duration reads `0.0` when the telemetry clock is gated off
+/// (`PVTM_TELEMETRY_CLOCK=off`), keeping harness output reproducible.
 ///
 /// # Example
 ///
@@ -24,12 +26,9 @@ use serde::Serialize;
 /// assert_eq!(value, 42);
 /// ```
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
-    let start = Instant::now();
+    let watch = Stopwatch::started();
     let out = f();
-    eprintln!(
-        "[{label}] completed in {:.1} s",
-        start.elapsed().as_secs_f64()
-    );
+    eprintln!("[{label}] completed in {:.1} s", watch.elapsed_secs());
     out
 }
 
@@ -80,13 +79,12 @@ impl Reporter {
     /// report, persists result JSON + sidecars and returns the value.
     pub fn figure<T: Display + Serialize>(&mut self, id: &str, f: impl FnOnce() -> T) -> T {
         pvtm_telemetry::reset();
-        let start = Instant::now();
+        // A gated-off stopwatch reports 0.0 s, keeping every
+        // machine-readable output byte-identical across runs.
+        let watch = Stopwatch::started();
         let value = f();
-        let mut seconds = start.elapsed().as_secs_f64();
+        let seconds = watch.elapsed_secs();
         let report = pvtm_telemetry::snapshot();
-        if !pvtm_telemetry::clock_enabled() {
-            seconds = 0.0;
-        }
 
         let result_path = pvtm::experiments::save_json(id, &value).expect("write result JSON");
         let telemetry_path = if report.mode == pvtm_telemetry::Mode::Full {

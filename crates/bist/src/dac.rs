@@ -88,6 +88,7 @@ impl Dac {
         for code in 0..self.codes() {
             if self.voltage(code) <= volts {
                 best = code;
+            // pvtm-lint: allow(no-float-eq) inl_frac is a configured constant; exact zero selects the ideal-DAC fast path
             } else if self.inl_frac == 0.0 {
                 break;
             }

@@ -1,7 +1,7 @@
 //! Behavioural memory array with fault injection.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A functional fault attached to one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,9 +57,9 @@ pub struct MemoryModel {
     rows: usize,
     cols: usize,
     data: Vec<bool>,
-    faults: HashMap<(usize, usize), Vec<FaultKind>>,
+    faults: BTreeMap<(usize, usize), Vec<FaultKind>>,
     /// victim lists per aggressor cell.
-    coupling: HashMap<(usize, usize), Vec<(usize, usize)>>,
+    coupling: BTreeMap<(usize, usize), Vec<(usize, usize)>>,
     vsb: f64,
     reads: u64,
     writes: u64,
@@ -77,8 +77,8 @@ impl MemoryModel {
             rows,
             cols,
             data: vec![false; rows * cols],
-            faults: HashMap::new(),
-            coupling: HashMap::new(),
+            faults: BTreeMap::new(),
+            coupling: BTreeMap::new(),
             vsb: 0.0,
             reads: 0,
             writes: 0,

@@ -449,6 +449,10 @@ impl<'a> System<'a> {
 
         self.assemble(x, gmin, vsource_scale, companion, jac, res);
         let mut norm = self.kcl_norm(res);
+        debug_assert!(
+            norm.is_finite(),
+            "non-finite initial residual norm {norm}: a device stamp produced NaN/Inf"
+        );
 
         for iter in 0..opts.max_iterations {
             if norm < opts.current_tol {
@@ -462,6 +466,11 @@ impl<'a> System<'a> {
             }
             jac.solve_in_place(rhs)
                 .map_err(|e| CircuitError::SingularMatrix { column: e.column })?;
+            debug_assert!(
+                rhs.iter().all(|dv| dv.is_finite()),
+                "non-finite Newton update at iteration {iter}: the Jacobian solve returned \
+                 NaN/Inf instead of converging to garbage silently"
+            );
 
             // Damp node-voltage updates.
             let mut scale = 1.0f64;

@@ -78,6 +78,10 @@ impl Matrix {
             if max < 1e-300 {
                 return Err(SingularMatrix { column: k });
             }
+            debug_assert!(
+                max.is_finite(),
+                "non-finite pivot {max} in column {k}: the stamped matrix is corrupt"
+            );
             if p != k {
                 for j in 0..n {
                     let a = self.get(k, j);
@@ -90,6 +94,7 @@ impl Matrix {
             let pivot = self.get(k, k);
             for i in (k + 1)..n {
                 let factor = self.get(i, k) / pivot;
+                // pvtm-lint: allow(no-float-eq) exact structural zero skips a no-op elimination row; rounding residue must still be eliminated
                 if factor == 0.0 {
                     continue;
                 }
@@ -108,6 +113,12 @@ impl Matrix {
                 sum -= self.get(i, j) * b[j];
             }
             b[i] = sum / self.get(i, i);
+            debug_assert!(
+                b[i].is_finite(),
+                "non-finite solution component {} at row {i}: NaN/Inf leaked through the \
+                 factorization",
+                b[i]
+            );
         }
         Ok(())
     }

@@ -114,7 +114,7 @@ pub fn parse_netlist(deck: &str, tech: &Technology) -> Result<Netlist, ParseErro
         let kind = card
             .chars()
             .next()
-            .expect("non-empty token")
+            .expect("token text is non-empty by the split above")
             .to_ascii_uppercase();
         match kind {
             '.' => {

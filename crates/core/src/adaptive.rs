@@ -72,7 +72,13 @@ impl StandbyLeakageGrid {
     pub fn cell_leakage(&self, corner: f64, vsb: f64) -> f64 {
         // Interpolate ln(leakage) along vsb at the two bracketing corners,
         // then along the corner axis.
-        let c = corner.clamp(self.corners[0], *self.corners.last().expect("non-empty"));
+        let c = corner.clamp(
+            self.corners[0],
+            *self
+                .corners
+                .last()
+                .expect("corner table is non-empty by construction"),
+        );
         let i = self
             .corners
             .partition_point(|&v| v < c)

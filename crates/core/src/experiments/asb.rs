@@ -206,7 +206,10 @@ pub fn fig8(effort: Effort) -> Result<Fig8, CircuitError> {
                 }
                 vsbs.push(outcome.vsb);
             }
-            vsbs.sort_by(|a, b| a.partial_cmp(b).expect("finite vsb"));
+            vsbs.sort_by(|a, b| {
+                a.partial_cmp(b)
+                    .expect("solved vsb values are always finite")
+            });
             Fig8Row {
                 vt_inter,
                 vsb_adaptive: vsbs[vsbs.len() / 2],
@@ -464,7 +467,7 @@ pub struct Headline {
 
 /// Aggregates the headline claims from the Fig. 2c and Fig. 10 results.
 pub fn headline(fig2c: &Fig2c, fig10: &Fig10) -> Headline {
-    let last = fig10.rows.last().expect("non-empty fig10");
+    let last = fig10.rows.last().expect("fig10 sweep always produces rows");
     let fail_opt = 1.0 - last.h_yield_opt;
     let fail_adp = 1.0 - last.h_yield_adaptive;
     Headline {

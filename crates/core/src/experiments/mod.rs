@@ -113,6 +113,7 @@ pub fn save_json<T: Serialize>(id: &str, value: &T) -> std::io::Result<PathBuf> 
 
 /// Formats a probability for the tables (engineering style).
 pub(crate) fn fmt_p(p: f64) -> String {
+    // pvtm-lint: allow(no-float-eq) formatting fast path for an exactly zero probability
     if p == 0.0 {
         "0".to_string()
     } else if p < 1e-12 {

@@ -112,9 +112,9 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
         .max_by(|a, b| {
             a.overall
                 .partial_cmp(&b.overall)
-                .expect("finite probabilities")
+                .expect("failure probabilities are finite by construction")
         })
-        .expect("non-empty sweep");
+        .expect("sweep always produces at least one row");
     let est = {
         let _trace = pvtm_telemetry::trace_scope("fig2a.mc");
         fa.failure_prob_mc(worst.vt_inter, &cond, effort.mc_samples as u64, 0x2A17)?
@@ -312,7 +312,7 @@ pub fn fig2c(effort: Effort) -> Result<Fig2c, CircuitError> {
             yield_256k_repair: responses[1].parametric_yield(sigma_inter, Policy::SelfRepair),
         })
         .collect();
-    let last = rows.last().expect("non-empty sweep");
+    let last = rows.last().expect("sweep always produces at least one row");
     let improvement_at_max_sigma = (
         100.0 * (last.yield_64k_repair - last.yield_64k_zbb),
         100.0 * (last.yield_256k_repair - last.yield_256k_zbb),
@@ -611,8 +611,12 @@ pub fn fig5a(effort: Effort) -> Fig5a {
         .collect();
     let optimum_bias = rows
         .iter()
-        .min_by(|a, b| a.total.partial_cmp(&b.total).expect("finite totals"))
-        .expect("non-empty sweep")
+        .min_by(|a, b| {
+            a.total
+                .partial_cmp(&b.total)
+                .expect("yield totals are finite by construction")
+        })
+        .expect("sweep always produces at least one row")
         .body_bias;
     Fig5a { rows, optimum_bias }
 }

@@ -229,12 +229,14 @@ impl SelfRepairingMemory {
                     let region = self.classify(corner);
                     let bias = self.cfg.generator.bias_for(region);
                     let probs_zbb = self.cell_failure_probs_with(ev, corner, 0.0)?;
+                    // pvtm-lint: allow(no-float-eq) bias is a configured discrete level; exact zero means ZBB
                     let probs_abb = if bias == 0.0 {
                         probs_zbb
                     } else {
                         self.cell_failure_probs_with(ev, corner, bias)?
                     };
                     let leak_zbb = self.cell_leak_stats(corner, 0.0);
+                    // pvtm-lint: allow(no-float-eq) bias is a configured discrete level; exact zero means ZBB
                     let leak_abb = if bias == 0.0 {
                         leak_zbb
                     } else {
@@ -263,6 +265,7 @@ impl SelfRepairingMemory {
 /// accurate for the near-step integrands of the yield equations (Eq. (1),
 /// Eq. (4)), where Gauss–Hermite quadrature rings.
 fn gaussian_expect(sigma: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+    // pvtm-lint: allow(no-float-eq) sigma = 0 degenerates the expectation to f(0) exactly
     if sigma == 0.0 {
         return f(0.0);
     }

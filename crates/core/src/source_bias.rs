@@ -210,7 +210,13 @@ impl HoldModelGrid {
     /// Hold models along the vsb axis at an arbitrary corner
     /// (linear interpolation of the model parameters between grid rows).
     pub fn models_at_corner(&self, corner: f64) -> Vec<HoldFailureModel> {
-        let c = corner.clamp(self.corners[0], *self.corners.last().expect("non-empty"));
+        let c = corner.clamp(
+            self.corners[0],
+            *self
+                .corners
+                .last()
+                .expect("corner table is non-empty by construction"),
+        );
         let i = self
             .corners
             .partition_point(|&v| v < c)

@@ -1,0 +1,284 @@
+//! The `lint-baseline.json` ratchet.
+//!
+//! Pre-existing violations are grandfathered per `(file, rule)` pair with a
+//! count and a mandatory reason; line numbers are deliberately excluded so
+//! unrelated edits above a baselined site do not churn the file. The count
+//! only ratchets down: fewer findings than the baseline allows is reported
+//! as an improvement (tighten the baseline), more is a hard failure.
+
+use crate::rules::Diagnostic;
+use pvtm_telemetry::json::{self, obj, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema tag written into (and required from) every baseline file.
+pub const SCHEMA: &str = "pvtm-lint-baseline/1";
+
+/// Reason stamped onto entries created by `--update-baseline`, so a human
+/// reviewer can grep for suppressions nobody has justified yet.
+pub const UNREVIEWED_REASON: &str = "unreviewed (added by --update-baseline)";
+
+/// A grandfathered `(file, rule)` allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Allowed number of findings.
+    pub count: u64,
+    /// Why these findings are acceptable.
+    pub reason: String,
+}
+
+/// The parsed baseline: `(file, rule-id)` → allowance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Deterministically ordered entries.
+    pub entries: BTreeMap<(String, String), Entry>,
+}
+
+/// Baseline file problems: unreadable JSON or a shape we do not recognise.
+#[derive(Debug)]
+pub struct BaselineError(pub String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid baseline: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parses baseline JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] on malformed JSON, a wrong schema tag, or
+    /// entries missing `file`/`rule`/`count`/`reason`.
+    pub fn from_json(text: &str) -> Result<Baseline, BaselineError> {
+        let doc = json::parse(text).map_err(|e| BaselineError(e.to_string()))?;
+        if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+            return Err(BaselineError(format!("schema must be \"{SCHEMA}\"")));
+        }
+        let items = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| BaselineError("missing \"entries\" array".to_string()))?;
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| BaselineError(format!("entry missing string \"{k}\"")))
+            };
+            let file = field("file")?;
+            let rule = field("rule")?;
+            let reason = field("reason")?;
+            let count = item
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| BaselineError("entry missing integer \"count\"".to_string()))?;
+            if reason.trim().is_empty() {
+                return Err(BaselineError(format!(
+                    "entry {file} [{rule}] has an empty reason; justification is mandatory"
+                )));
+            }
+            entries.insert((file, rule), Entry { count, reason });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline as pretty JSON (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let items = self
+            .entries
+            .iter()
+            .map(|((file, rule), e)| {
+                obj(vec![
+                    ("file", Value::Str(file.clone())),
+                    ("rule", Value::Str(rule.clone())),
+                    ("count", Value::Num(e.count as f64)),
+                    ("reason", Value::Str(e.reason.clone())),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("schema", Value::Str(SCHEMA.to_string())),
+            ("entries", Value::Arr(items)),
+        ]);
+        let mut text = doc.to_json_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Builds the tightest baseline covering `diags`, keeping reasons from
+    /// `self` where the `(file, rule)` pair already existed and stamping
+    /// [`UNREVIEWED_REASON`] on new pairs.
+    pub fn ratcheted(&self, diags: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for d in diags {
+            *counts
+                .entry((d.file.clone(), d.rule.as_str().to_string()))
+                .or_insert(0) += 1;
+        }
+        let entries = counts
+            .into_iter()
+            .map(|(key, count)| {
+                let reason = self
+                    .entries
+                    .get(&key)
+                    .map(|e| e.reason.clone())
+                    .unwrap_or_else(|| UNREVIEWED_REASON.to_string());
+                (key, Entry { count, reason })
+            })
+            .collect();
+        Baseline { entries }
+    }
+}
+
+/// One diagnostic group's standing relative to the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Standing {
+    /// Not covered (or over the allowed count): a hard failure.
+    New,
+    /// Covered by a baseline allowance.
+    Baselined,
+}
+
+/// The verdict of comparing a lint run against a baseline.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Diagnostics that must fail the run, in report order.
+    pub new: Vec<Diagnostic>,
+    /// Diagnostics absorbed by the baseline, in report order.
+    pub baselined: Vec<Diagnostic>,
+    /// `(file, rule, found, allowed)` where found < allowed — the baseline
+    /// can be tightened (run `--update-baseline`).
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+/// Splits `diags` into new vs baselined findings. A `(file, rule)` group
+/// whose count exceeds its allowance fails *wholesale*: line-level blame is
+/// meaningless without line-keyed baselines, so the user sees every site.
+pub fn compare(baseline: &Baseline, diags: &[Diagnostic]) -> Verdict {
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for d in diags {
+        *counts
+            .entry((d.file.clone(), d.rule.as_str().to_string()))
+            .or_insert(0) += 1;
+    }
+    let mut verdict = Verdict::default();
+    for d in diags {
+        let key = (d.file.clone(), d.rule.as_str().to_string());
+        let allowed = baseline.entries.get(&key).map_or(0, |e| e.count);
+        if counts[&key] <= allowed {
+            verdict.baselined.push(d.clone());
+        } else {
+            verdict.new.push(d.clone());
+        }
+    }
+    for ((file, rule), entry) in &baseline.entries {
+        let found = counts
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if found < entry.count {
+            verdict
+                .improvements
+                .push((file.clone(), rule.clone(), found, entry.count));
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn diag(file: &str, rule: RuleId, line: u32) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    fn baseline_with(file: &str, rule: &str, count: u64) -> Baseline {
+        let mut b = Baseline::default();
+        b.entries.insert(
+            (file.to_string(), rule.to_string()),
+            Entry {
+                count,
+                reason: "documented caller contract".to_string(),
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = baseline_with("crates/x/src/a.rs", "panic-policy", 4);
+        let text = b.to_json();
+        assert_eq!(Baseline::from_json(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_empty_reasons() {
+        assert!(Baseline::from_json("{\"schema\":\"other\",\"entries\":[]}").is_err());
+        let text = "{\"schema\":\"pvtm-lint-baseline/1\",\"entries\":[{\"file\":\"f\",\
+                    \"rule\":\"no-hashmap\",\"count\":1,\"reason\":\" \"}]}";
+        assert!(Baseline::from_json(text).is_err());
+    }
+
+    #[test]
+    fn within_allowance_is_baselined_over_is_new() {
+        let b = baseline_with("f.rs", "panic-policy", 2);
+        let two = vec![
+            diag("f.rs", RuleId::PanicPolicy, 1),
+            diag("f.rs", RuleId::PanicPolicy, 2),
+        ];
+        let v = compare(&b, &two);
+        assert_eq!(v.new.len(), 0);
+        assert_eq!(v.baselined.len(), 2);
+        assert!(v.improvements.is_empty());
+
+        let mut three = two.clone();
+        three.push(diag("f.rs", RuleId::PanicPolicy, 3));
+        let v = compare(&b, &three);
+        // Over the allowance: the whole group fails so all sites are shown.
+        assert_eq!(v.new.len(), 3);
+        assert_eq!(v.baselined.len(), 0);
+    }
+
+    #[test]
+    fn improvement_is_reported_when_count_drops() {
+        let b = baseline_with("f.rs", "panic-policy", 2);
+        let one = vec![diag("f.rs", RuleId::PanicPolicy, 1)];
+        let v = compare(&b, &one);
+        assert_eq!(v.baselined.len(), 1);
+        assert_eq!(
+            v.improvements,
+            vec![("f.rs".to_string(), "panic-policy".to_string(), 1, 2)]
+        );
+    }
+
+    #[test]
+    fn ratchet_preserves_reasons_and_stamps_new_entries() {
+        let b = baseline_with("f.rs", "panic-policy", 5);
+        let diags = vec![
+            diag("f.rs", RuleId::PanicPolicy, 1),
+            diag("g.rs", RuleId::NoHashmap, 2),
+        ];
+        let next = b.ratcheted(&diags);
+        let old = &next.entries[&("f.rs".to_string(), "panic-policy".to_string())];
+        assert_eq!(old.count, 1);
+        assert_eq!(old.reason, "documented caller contract");
+        let fresh = &next.entries[&("g.rs".to_string(), "no-hashmap".to_string())];
+        assert_eq!(fresh.count, 1);
+        assert_eq!(fresh.reason, UNREVIEWED_REASON);
+        // A pair with zero findings drops out entirely.
+        assert_eq!(next.entries.len(), 2);
+    }
+}

@@ -1,0 +1,622 @@
+//! Hand-rolled Rust lexer: just enough tokenization for the lint rules.
+//!
+//! The workspace is registry-free, so `syn`/`proc-macro2` are unavailable;
+//! this lexer handles the full literal grammar the rules must not be fooled
+//! by — strings with escapes, raw strings with arbitrary `#` fences, byte
+//! and char literals (disambiguated from lifetimes), nested block comments,
+//! doc comments — and produces a flat token stream with line/column
+//! positions. It never fails: unexpected bytes become one-character punct
+//! tokens, which at worst makes a rule miss, never crash.
+
+/// Token classification. Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`0.0`, `1e-3`, `2f64`).
+    Float,
+    /// String, raw-string, byte-string or C-string literal. `text` holds
+    /// the *contents* (fences and quotes stripped, escapes left as-is).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Operator or delimiter, longest-match (`==`, `::`, `->`, `{`).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what literals carry).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// A `// pvtm-lint: allow(rule-id) reason` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment sits on; it suppresses matching diagnostics on this
+    /// line and the next one (comment-above style).
+    pub line: u32,
+    /// Column of the comment marker.
+    pub col: u32,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// Justification text after the closing paren (mandatory; an empty
+    /// reason is itself reported by the engine).
+    pub reason: String,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream, comments and whitespace stripped.
+    pub tokens: Vec<Tok>,
+    /// Suppression comments found anywhere in the file (including inside
+    /// otherwise-skipped comments is impossible: allows *are* comments).
+    pub allows: Vec<Allow>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenizes `src`. Infallible; see module docs.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => self.prefixed_literal(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+    }
+
+    /// Does the cursor sit on a literal prefix (`r"`, `r#"`, `br#"`, `b"`,
+    /// `b'`, `cr#"` …) rather than a plain identifier starting with
+    /// r/b/c? Raw *identifiers* (`r#match`) are handled by `ident`.
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut i = 1;
+        // Optional second prefix letter: br / cr.
+        if matches!(self.peek(), Some('b' | 'c')) && self.peek_at(1) == Some('r') {
+            i = 2;
+        }
+        match self.peek_at(i) {
+            Some('"') => true,
+            Some('\'') => i == 1 && self.peek() == Some('b'), // byte literal b'x'
+            Some('#') => {
+                // Raw string fence — or a raw identifier r#name.
+                let mut j = i;
+                while self.peek_at(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek_at(j) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, line: u32, col: u32) {
+        // Consume prefix letters.
+        let mut raw = false;
+        while matches!(self.peek(), Some('r' | 'b' | 'c')) {
+            raw |= self.peek() == Some('r');
+            self.bump();
+        }
+        if self.peek() == Some('\'') {
+            // b'x' byte literal: reuse char lexing (no lifetime ambiguity).
+            self.bump();
+            let mut text = String::new();
+            while let Some(c) = self.peek() {
+                if c == '\\' {
+                    text.push(self.bump().unwrap_or_default());
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                } else if c == '\'' {
+                    self.bump();
+                    break;
+                } else {
+                    text.push(self.bump().unwrap_or_default());
+                }
+            }
+            self.push(TokKind::Char, text, line, col);
+            return;
+        }
+        if raw {
+            let mut fence = 0usize;
+            while self.peek() == Some('#') {
+                fence += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let mut text = String::new();
+            'scan: while let Some(c) = self.bump() {
+                if c == '"' {
+                    // A closing quote counts only when followed by `fence` #s.
+                    for k in 0..fence {
+                        if self.peek_at(k) != Some('#') {
+                            text.push(c);
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..fence {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokKind::Str, text, line, col);
+        } else {
+            // b"..." cooked byte string.
+            self.string(line, col);
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap_or_default());
+        }
+        self.maybe_allow(&text, line, col);
+    }
+
+    fn block_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump();
+        self.bump(); // consume /*
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match self.peek() {
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                Some('*') if self.peek_at(1) == Some('/') => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                Some(_) => text.push(self.bump().unwrap_or_default()),
+                None => break,
+            }
+        }
+        self.maybe_allow(&text, line, col);
+    }
+
+    /// Parses `pvtm-lint: allow(rule-id) reason` out of a comment body.
+    ///
+    /// The directive must be the entire comment (the body starts with the
+    /// marker): prose that merely *mentions* `pvtm-lint:` mid-sentence is
+    /// not a directive, and doc comments are documentation, never
+    /// directives.
+    fn maybe_allow(&mut self, comment: &str, line: u32, col: u32) {
+        let body = comment.strip_prefix("//").unwrap_or(comment);
+        if body.starts_with(['/', '!', '*']) {
+            return; // doc comment
+        }
+        let Some(rest) = body.trim_start().strip_prefix("pvtm-lint:") else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            // `pvtm-lint:` followed by anything else is a malformed
+            // suppression; surface it so typos don't silently no-op.
+            self.out.allows.push(Allow {
+                line,
+                col,
+                rule: String::new(),
+                reason: String::new(),
+            });
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            self.out.allows.push(Allow {
+                line,
+                col,
+                rule: String::new(),
+                reason: String::new(),
+            });
+            return;
+        };
+        self.out.allows.push(Allow {
+            line,
+            col,
+            rule: rest[..close].trim().to_string(),
+            reason: rest[close + 1..].trim().to_string(),
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                '\\' => {
+                    text.push(self.bump().unwrap_or_default());
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(self.bump().unwrap_or_default()),
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'` then: escape → char; ident-char + `'` → char; else lifetime.
+        let next = self.peek_at(1);
+        let after = self.peek_at(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c.is_alphanumeric() || c == '_' => after == Some('\''),
+            Some(_) => true, // e.g. '(' — punctuation chars are char literals
+            None => false,
+        };
+        if !is_char {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(self.bump().unwrap_or_default());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+            return;
+        }
+        self.bump(); // opening '
+        let mut text = String::new();
+        match self.peek() {
+            Some('\\') => {
+                text.push(self.bump().unwrap_or_default());
+                match self.peek() {
+                    // \u{...} escape: consume through the closing brace.
+                    Some('u') => {
+                        text.push(self.bump().unwrap_or_default());
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                    // \x7f and single-char escapes: take up to two chars
+                    // then fall through to the closing-quote scan below.
+                    Some(_) => {
+                        text.push(self.bump().unwrap_or_default());
+                    }
+                    None => {}
+                }
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(self.bump().unwrap_or_default());
+                }
+            }
+            Some(_) => text.push(self.bump().unwrap_or_default()),
+            None => {}
+        }
+        if self.peek() == Some('\'') {
+            self.bump(); // closing '
+        }
+        self.push(TokKind::Char, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Raw identifier r#name: strip the fence, keep the name.
+        if self.peek() == Some('r') && self.peek_at(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x' | 'o' | 'b' | 'X')) {
+            // Radix literal: digits, underscores and hex letters; a type
+            // suffix (u8, i64, usize) rides along harmlessly.
+            text.push(self.bump().unwrap_or_default());
+            text.push(self.bump().unwrap_or_default());
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(self.bump().unwrap_or_default());
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        // Decimal point: only when not a range (`0..n`), a field/method
+        // access (`1.max(2)`) or a tuple index.
+        if self.peek() == Some('.') {
+            let after = self.peek_at(1);
+            let take = match after {
+                Some('.') => false,
+                Some(c) if c.is_alphabetic() || c == '_' => false,
+                _ => true, // digit, EOF, `)`, `,` … — `1.` is a float
+            };
+            if take {
+                float = true;
+                text.push(self.bump().unwrap_or_default());
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(self.bump().unwrap_or_default());
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let (sign, first_digit) = (self.peek_at(1), self.peek_at(2));
+            let has_exp = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+' | '-') => matches!(first_digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if has_exp {
+                float = true;
+                text.push(self.bump().unwrap_or_default());
+                if matches!(self.peek(), Some('+' | '-')) {
+                    text.push(self.bump().unwrap_or_default());
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(self.bump().unwrap_or_default());
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (f64 makes it a float; u32 keeps it an int).
+        if matches!(self.peek(), Some(c) if c.is_alphabetic()) {
+            let mut suffix = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    suffix.push(self.bump().unwrap_or_default());
+                } else {
+                    break;
+                }
+            }
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for op in OPERATORS {
+            if self
+                .chars
+                .get(self.pos..self.pos + op.len())
+                .is_some_and(|w| w.iter().collect::<String>() == **op)
+            {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_string(), line, col);
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or_default();
+        self.push(TokKind::Punct, c.to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_operators() {
+        let t = kinds("let x == y != z :: w;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[2], (TokKind::Punct, "==".into()));
+        assert_eq!(t[4], (TokKind::Punct, "!=".into()));
+        assert_eq!(t[6], (TokKind::Punct, "::".into()));
+    }
+
+    #[test]
+    fn distinguishes_floats_from_ints_and_ranges() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        assert_eq!(kinds("7u64")[0].0, TokKind::Int);
+        // `0..10` is int, range, int — not a float.
+        let t = kinds("0..10");
+        assert_eq!(t[0].0, TokKind::Int);
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+        // `1.max(2)` is a method call on an integer literal.
+        assert_eq!(kinds("1.max(2)")[0].0, TokKind::Int);
+        // `1.` really is a float.
+        assert_eq!(kinds("(1., 2)")[1].0, TokKind::Float);
+    }
+
+    #[test]
+    fn strings_swallow_fake_tokens() {
+        let t = kinds(r#"let s = "HashMap == 0.0 // not a comment";"#);
+        assert!(t
+            .iter()
+            .all(|(k, x)| *k != TokKind::Ident || x != "HashMap"));
+        assert_eq!(t[3].0, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let t = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert_eq!(t[3], (TokKind::Str, "quote \" inside".into()));
+        assert_eq!(t[5], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let t = kinds("r#type r#match");
+        assert_eq!(t[0], (TokKind::Ident, "type".into()));
+        assert_eq!(t[1], (TokKind::Ident, "match".into()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let t = kinds("'a' 'x 'static '\\n' '\\u{1F600}' b'q'");
+        assert_eq!(t[0].0, TokKind::Char);
+        assert_eq!(t[1], (TokKind::Lifetime, "'x".into()));
+        assert_eq!(t[2], (TokKind::Lifetime, "'static".into()));
+        assert_eq!(t[3].0, TokKind::Char);
+        assert_eq!(t[4].0, TokKind::Char);
+        assert_eq!(t[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let t = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn doc_comments_are_skipped() {
+        let t = kinds("/// x.unwrap()\n//! HashMap\nfn f() {}");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lx = lex("a\n  bb");
+        assert_eq!((lx.tokens[0].line, lx.tokens[0].col), (1, 1));
+        assert_eq!((lx.tokens[1].line, lx.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn allow_comments_are_parsed() {
+        let lx = lex("x; // pvtm-lint: allow(no-float-eq) sentinel is assigned, not computed\n");
+        assert_eq!(lx.allows.len(), 1);
+        assert_eq!(lx.allows[0].rule, "no-float-eq");
+        assert_eq!(lx.allows[0].reason, "sentinel is assigned, not computed");
+        assert_eq!(lx.allows[0].line, 1);
+    }
+
+    #[test]
+    fn malformed_allow_is_recorded_with_empty_rule() {
+        let lx = lex("// pvtm-lint: allw(no-float-eq) typo\n");
+        assert_eq!(lx.allows.len(), 1);
+        assert!(lx.allows[0].rule.is_empty());
+    }
+}

@@ -1,0 +1,787 @@
+//! The lint rules and the per-file engine that runs them.
+//!
+//! Every rule walks the token stream produced by [`crate::lexer`]; none of
+//! them parse Rust properly, so each one is written to *miss* rather than
+//! crash or false-positive when it meets grammar it does not model. The
+//! escape hatch for deliberate violations is a
+//! `// pvtm-lint: allow(rule-id) reason` comment on the offending line or
+//! the line above; the reason is mandatory and stale allows are reported.
+
+use crate::lexer::{self, Tok, TokKind};
+use std::fmt;
+
+/// Stable identifiers of the lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in non-test code (nondeterministic iteration).
+    NoHashmap,
+    /// `Instant`/`SystemTime` outside the telemetry clock module.
+    NoWallclock,
+    /// `==`/`!=` against floating-point expressions.
+    NoFloatEq,
+    /// `panic!`/`unwrap()`/bare `expect` in library code of the core crates.
+    PanicPolicy,
+    /// Telemetry span/counter/gauge/histogram names outside the §5b taxonomy.
+    TelemetryTaxonomy,
+    /// `env::var` reads of undocumented knobs.
+    NoEnvRead,
+    /// Malformed, unknown, reason-less or stale suppression comments.
+    LintAllow,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::NoHashmap,
+    RuleId::NoWallclock,
+    RuleId::NoFloatEq,
+    RuleId::PanicPolicy,
+    RuleId::TelemetryTaxonomy,
+    RuleId::NoEnvRead,
+    RuleId::LintAllow,
+];
+
+impl RuleId {
+    /// Stable kebab-case id used in diagnostics, allows and baselines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::NoHashmap => "no-hashmap",
+            RuleId::NoWallclock => "no-wallclock",
+            RuleId::NoFloatEq => "no-float-eq",
+            RuleId::PanicPolicy => "panic-policy",
+            RuleId::TelemetryTaxonomy => "telemetry-taxonomy",
+            RuleId::NoEnvRead => "no-env-read",
+            RuleId::LintAllow => "lint-allow",
+        }
+    }
+
+    /// Parses a kebab-case rule id.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: `file:line:col [rule-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Human-readable description with a fix hint.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Environment knobs the workspace documents (README / DESIGN.md); the only
+/// names `env::var` may read outside test code.
+pub const DOCUMENTED_ENV_KNOBS: &[&str] = &[
+    "PVTM_TELEMETRY",
+    "PVTM_TELEMETRY_CLOCK",
+    "PVTM_QUIET",
+    "PVTM_EFFORT",
+    "PVTM_RESULTS_DIR",
+];
+
+/// First path segments of valid span / trace-scope names (DESIGN.md §5b:
+/// one span per reproduced figure or experiment, plus the component spans).
+pub const SPAN_ROOTS: &[&str] = &[
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig3",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "scaling",
+    "ablation_monitor",
+    "ablation_dac",
+    "ablation_bias_levels",
+    "ablation_march",
+    "ablation_temperature",
+    "analyzer",
+    "optimizer",
+    "eval",
+    "dc",
+];
+
+/// First dotted segments of valid counter/gauge/histogram names
+/// (DESIGN.md §5b: solver counters, Monte-Carlo estimator health, evaluator
+/// and analyzer accounting, bench harness).
+pub const METRIC_ROOTS: &[&str] = &["solver", "mc", "optimizer", "eval", "analyzer", "bench"];
+
+/// The only file allowed to touch the wall clock directly.
+const WALLCLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs"];
+
+/// Library trees under the strict panic policy.
+const PANIC_POLICY_PREFIXES: &[&str] = &[
+    "crates/circuit/src/",
+    "crates/stats/src/",
+    "crates/sram/src/",
+    "crates/core/src/",
+];
+
+/// Lints one file. `rel_path` is the repo-relative path (used for rule
+/// scoping); `src` is its contents. Returns suppressed-and-sorted
+/// diagnostics — the caller only has to aggregate.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let path = rel_path.replace('\\', "/");
+    if is_test_path(&path) {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(src);
+    let regions = test_regions(&lexed.tokens);
+    let ctx = Ctx {
+        path: &path,
+        toks: &lexed.tokens,
+        regions: &regions,
+    };
+
+    let mut diags = Vec::new();
+    rule_no_hashmap(&ctx, &mut diags);
+    rule_no_wallclock(&ctx, &mut diags);
+    rule_no_float_eq(&ctx, &mut diags);
+    rule_panic_policy(&ctx, &mut diags);
+    rule_telemetry_taxonomy(&ctx, &mut diags);
+    rule_no_env_read(&ctx, &mut diags);
+    apply_allows(&path, &lexed.allows, &mut diags);
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+/// Whole directories that are test context: integration tests and benches.
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    /// Token-index ranges covered by `#[test]` / `#[cfg(test)]` items.
+    regions: &'a [(usize, usize)],
+}
+
+impl Ctx<'_> {
+    fn in_test(&self, i: usize) -> bool {
+        self.regions.iter().any(|&(s, e)| s <= i && i <= e)
+    }
+
+    fn diag(&self, out: &mut Vec<Diagnostic>, i: usize, rule: RuleId, message: String) {
+        out.push(Diagnostic {
+            file: self.path.to_string(),
+            line: self.toks[i].line,
+            col: self.toks[i].col,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Finds token ranges of items annotated with a test attribute:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`. An attribute
+/// containing `not` (e.g. `#[cfg(not(test))]`) is conservatively treated as
+/// non-test. The range runs from the attribute to the item's closing brace
+/// (or terminating semicolon for brace-less items like `use`).
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "[")
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let (mut has_test, mut has_not) = (false, false);
+        while j < toks.len() && depth > 0 {
+            match (&toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => depth -= 1,
+                (TokKind::Ident, "test") => has_test = true,
+                (TokKind::Ident, "not") => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Find the annotated item's extent: the first top-level `{…}`
+        // group, or a `;` before any brace opens.
+        let mut k = j;
+        let mut nest = 0i64;
+        let mut end = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            match (&toks[k].kind, toks[k].text.as_str()) {
+                (TokKind::Punct, "(") | (TokKind::Punct, "[") => nest += 1,
+                (TokKind::Punct, ")") | (TokKind::Punct, "]") => nest -= 1,
+                (TokKind::Punct, ";") if nest == 0 => {
+                    end = k;
+                    break;
+                }
+                (TokKind::Punct, "{") if nest == 0 => {
+                    let mut braces = 1i64;
+                    let mut m = k + 1;
+                    while m < toks.len() && braces > 0 {
+                        match toks[m].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end = m.saturating_sub(1);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((i, end));
+        i = end + 1;
+    }
+    regions
+}
+
+// ----------------------------------------------------------------- rules
+
+fn rule_no_hashmap(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(i)
+        {
+            ctx.diag(
+                out,
+                i,
+                RuleId::NoHashmap,
+                format!(
+                    "`{}` has nondeterministic iteration order; use `BTree{}` \
+                     (bit-reproducibility contract, DESIGN.md)",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+    }
+}
+
+fn rule_no_wallclock(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    if WALLCLOCK_ALLOWED.contains(&ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && !ctx.in_test(i)
+        {
+            ctx.diag(
+                out,
+                i,
+                RuleId::NoWallclock,
+                format!(
+                    "direct `{}` use; route timing through `pvtm_telemetry::clock` so \
+                     `PVTM_TELEMETRY_CLOCK=off` keeps every output byte-identical",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_no_float_eq(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let op = &toks[i];
+        if op.kind != TokKind::Punct || (op.text != "==" && op.text != "!=") {
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        let float_lit = |k: usize| toks.get(k).is_some_and(|t| t.kind == TokKind::Float);
+        // Right operand: `0.0`, `-0.0`, `f64::NAN`-style const.
+        let rhs_lit = if float_lit(i + 1) {
+            Some(i + 1)
+        } else if toks.get(i + 1).is_some_and(|t| t.text == "-") && float_lit(i + 2) {
+            Some(i + 2)
+        } else {
+            None
+        };
+        let rhs_const = toks
+            .get(i + 1)
+            .is_some_and(|t| t.text == "f64" || t.text == "f32")
+            && toks.get(i + 2).is_some_and(|t| t.text == "::");
+        // Left operand: a float literal, or `f64::CONST`.
+        let lhs_lit = float_lit(i.wrapping_sub(1));
+        let lhs_const = i >= 3
+            && toks[i - 2].text == "::"
+            && (toks[i - 3].text == "f64" || toks[i - 3].text == "f32")
+            && toks[i - 1].kind == TokKind::Ident;
+        if rhs_lit.is_none() && !rhs_const && !lhs_lit && !lhs_const {
+            continue;
+        }
+        // Guard idiom: `x.fract() == 0.0` is an exactness test by design.
+        let fract_guarded = i >= 4
+            && toks[i - 1].text == ")"
+            && toks[i - 2].text == "("
+            && toks[i - 3].text == "fract"
+            && toks[i - 4].text == ".";
+        if fract_guarded {
+            continue;
+        }
+        let lit_text = rhs_lit
+            .map(|k| toks[k].text.as_str())
+            .unwrap_or(if lhs_lit {
+                toks[i - 1].text.as_str()
+            } else {
+                ""
+            });
+        let sentinel = matches!(lit_text, "0.0" | "0." | "1.0" | "1.");
+        let message = if sentinel {
+            format!(
+                "exact float `{}` against `{lit_text}`; if the value is an assigned sentinel \
+                 (never computed) keep it and add `// pvtm-lint: allow(no-float-eq) <why \
+                 exact>`, otherwise compare with a tolerance",
+                op.text
+            )
+        } else {
+            format!(
+                "exact float `{}` comparison; use a tolerance, or justify bit-exactness with \
+                 `// pvtm-lint: allow(no-float-eq) <why>`",
+                op.text
+            )
+        };
+        ctx.diag(out, i, RuleId::NoFloatEq, message);
+    }
+}
+
+fn rule_panic_policy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    if !PANIC_POLICY_PREFIXES
+        .iter()
+        .any(|p| ctx.path.starts_with(p))
+    {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let next_is = |k: usize, s: &str| toks.get(k).is_some_and(|t| t.text == s);
+        match t.text.as_str() {
+            "panic" | "todo" | "unimplemented" if next_is(i + 1, "!") => {
+                ctx.diag(
+                    out,
+                    i,
+                    RuleId::PanicPolicy,
+                    format!(
+                        "`{}!` in library code; return an error, or document the caller \
+                         contract with `// pvtm-lint: allow(panic-policy) <invariant>` or a \
+                         baseline entry",
+                        t.text
+                    ),
+                );
+            }
+            "unwrap"
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && next_is(i + 1, "(")
+                    && next_is(i + 2, ")") =>
+            {
+                ctx.diag(
+                    out,
+                    i,
+                    RuleId::PanicPolicy,
+                    "`unwrap()` in library code; use `expect(\"<invariant>\")` stating why \
+                     this cannot fail, or propagate the error"
+                        .to_string(),
+                );
+            }
+            "expect" if i > 0 && toks[i - 1].text == "." && next_is(i + 1, "(") => {
+                if let Some(msg) = toks.get(i + 2).filter(|t| t.kind == TokKind::Str) {
+                    if msg.text.split_whitespace().count() < 3 {
+                        ctx.diag(
+                            out,
+                            i,
+                            RuleId::PanicPolicy,
+                            format!(
+                                "bare `expect(\"{}\")`; the message must state the violated \
+                                 invariant (at least three words on why this cannot fail)",
+                                msg.text
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "span" => "span",
+            "trace_scope" => "trace",
+            "counter_add" => "counter",
+            "gauge_set" => "gauge",
+            "hist_record" => "histogram",
+            _ => continue,
+        };
+        // Only path-qualified calls (`pvtm_telemetry::span(…)`, `tm::span(…)`)
+        // are telemetry call sites; method calls and locals are not.
+        if i == 0 || toks[i - 1].text != "::" || toks.get(i + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 2) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Str {
+            ctx.diag(
+                out,
+                i,
+                RuleId::TelemetryTaxonomy,
+                format!("non-literal {kind} name cannot be checked against the §5b taxonomy"),
+            );
+            continue;
+        }
+        let name = &name_tok.text;
+        let shape_ok = !name.is_empty()
+            && name.split('.').all(|seg| {
+                !seg.is_empty()
+                    && seg
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            });
+        if !shape_ok {
+            ctx.diag(
+                out,
+                i,
+                RuleId::TelemetryTaxonomy,
+                format!(
+                    "telemetry {kind} name \"{name}\" is not dotted lowercase \
+                     (`[a-z0-9_]` segments separated by `.`)"
+                ),
+            );
+            continue;
+        }
+        let root = name.split('.').next().unwrap_or_default();
+        let roots: &[&str] = if kind == "span" || kind == "trace" {
+            SPAN_ROOTS
+        } else {
+            METRIC_ROOTS
+        };
+        if !roots.contains(&root) {
+            ctx.diag(
+                out,
+                i,
+                RuleId::TelemetryTaxonomy,
+                format!(
+                    "telemetry {kind} name \"{name}\" is outside the DESIGN.md §5b taxonomy \
+                     (unknown root \"{root}\"); extend the taxonomy and this registry together"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_no_env_read(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks;
+    for i in 2..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || (t.text != "var" && t.text != "var_os")
+            || toks[i - 1].text != "::"
+            || toks[i - 2].text != "env"
+            || ctx.in_test(i)
+        {
+            continue;
+        }
+        match toks.get(i + 2) {
+            Some(name) if name.kind == TokKind::Str => {
+                if !DOCUMENTED_ENV_KNOBS.contains(&name.text.as_str()) {
+                    ctx.diag(
+                        out,
+                        i,
+                        RuleId::NoEnvRead,
+                        format!(
+                            "undocumented environment knob \"{}\"; the documented `PVTM_*` \
+                             knobs are: {}",
+                            name.text,
+                            DOCUMENTED_ENV_KNOBS.join(", ")
+                        ),
+                    );
+                }
+            }
+            _ => {
+                ctx.diag(
+                    out,
+                    i,
+                    RuleId::NoEnvRead,
+                    "`env::var` with a non-literal name cannot be audited; read documented \
+                     `PVTM_*` knobs by name"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ suppression
+
+/// Applies `// pvtm-lint: allow(rule) reason` comments: a well-formed allow
+/// suppresses matching diagnostics on its own line and the next one.
+/// Malformed, unknown-rule, reason-less and unused allows are themselves
+/// reported under `lint-allow` so the suppression inventory stays honest.
+fn apply_allows(path: &str, allows: &[lexer::Allow], diags: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; allows.len()];
+    diags.retain(|d| {
+        let mut keep = true;
+        for (k, a) in allows.iter().enumerate() {
+            if !a.rule.is_empty()
+                && !a.reason.is_empty()
+                && a.rule == d.rule.as_str()
+                && (a.line == d.line || a.line + 1 == d.line)
+            {
+                used[k] = true;
+                keep = false;
+            }
+        }
+        keep
+    });
+    for (k, a) in allows.iter().enumerate() {
+        let problem = if a.rule.is_empty() {
+            Some("malformed suppression; expected `pvtm-lint: allow(rule-id) reason`".to_string())
+        } else if RuleId::parse(&a.rule).is_none() {
+            Some(format!(
+                "allow names unknown rule \"{}\" (known: {})",
+                a.rule,
+                ALL_RULES
+                    .iter()
+                    .map(|r| r.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        } else if a.reason.is_empty() {
+            Some(format!(
+                "allow({}) without a reason; the justification is mandatory",
+                a.rule
+            ))
+        } else if !used[k] {
+            Some(format!(
+                "stale allow({}): no matching diagnostic on this or the next line",
+                a.rule
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: RuleId::LintAllow,
+                message,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<(RuleId, u32)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_outside_tests_only() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert_eq!(
+            rules_of("crates/x/src/a.rs", src),
+            vec![(RuleId::NoHashmap, 1)]
+        );
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_its_body_only() {
+        let src = "fn lib() { let _: HashMap<u8, u8>; }\n\
+                   #[test]\nfn t() { let _: HashMap<u8, u8>; }\n\
+                   fn lib2() { let _: HashSet<u8>; }\n";
+        assert_eq!(
+            rules_of("crates/x/src/a.rs", src),
+            vec![(RuleId::NoHashmap, 1), (RuleId::NoHashmap, 4)]
+        );
+    }
+
+    #[test]
+    fn wallclock_allowed_only_in_clock_module() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(
+            rules_of("crates/bench/src/lib.rs", src),
+            vec![(RuleId::NoWallclock, 1)]
+        );
+        assert!(rules_of("crates/telemetry/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literals_and_consts_but_not_fract() {
+        assert_eq!(
+            rules_of("crates/x/src/a.rs", "fn f(x: f64) -> bool { x == 0.5 }\n"),
+            vec![(RuleId::NoFloatEq, 1)]
+        );
+        assert_eq!(
+            rules_of(
+                "crates/x/src/a.rs",
+                "fn f(x: f64) -> bool { x == f64::INFINITY }\n"
+            ),
+            vec![(RuleId::NoFloatEq, 1)]
+        );
+        assert!(rules_of(
+            "crates/x/src/a.rs",
+            "fn f(x: f64) -> bool { x.fract() == 0.0 }\n"
+        )
+        .is_empty());
+        // Integer comparisons never fire.
+        assert!(rules_of("crates/x/src/a.rs", "fn f(x: u8) -> bool { x == 0 }\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_sentinel_gets_dedicated_hint() {
+        let d = lint_source("crates/x/src/a.rs", "fn f(s: f64) -> bool { s == 0.0 }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("sentinel"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn panic_policy_scopes_to_core_crates() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            rules_of("crates/sram/src/a.rs", src),
+            vec![(RuleId::PanicPolicy, 1)]
+        );
+        // Outside the policy crates unwrap is tolerated.
+        assert!(rules_of("crates/bist/src/a.rs", src).is_empty());
+        assert!(rules_of("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_policy_accepts_invariant_expect_only() {
+        let bare = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"bad\") }\n";
+        let good =
+            "pub fn f(x: Option<u8>) -> u8 { x.expect(\"slots are built by compile above\") }\n";
+        assert_eq!(
+            rules_of("crates/core/src/a.rs", bare),
+            vec![(RuleId::PanicPolicy, 1)]
+        );
+        assert!(rules_of("crates/core/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn taxonomy_checks_shape_and_roots() {
+        let bad_root = "fn f() { pvtm_telemetry::counter_add(\"frobnicator.count\", 1); }\n";
+        let bad_shape = "fn f() { let _s = pvtm_telemetry::span(\"Eval.Margins\"); }\n";
+        let good = "fn f() { let _s = pvtm_telemetry::span(\"eval.margins\"); }\n";
+        assert_eq!(
+            rules_of("crates/sram/src/a.rs", bad_root),
+            vec![(RuleId::TelemetryTaxonomy, 1)]
+        );
+        assert_eq!(
+            rules_of("crates/sram/src/a.rs", bad_shape),
+            vec![(RuleId::TelemetryTaxonomy, 1)]
+        );
+        assert!(rules_of("crates/sram/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn env_reads_must_use_documented_knobs() {
+        let bad = "fn f() { let _ = std::env::var(\"PVTM_SECRET\"); }\n";
+        let good = "fn f() { let _ = std::env::var(\"PVTM_TELEMETRY\"); }\n";
+        let dynamic = "fn f(k: &str) { let _ = std::env::var(k); }\n";
+        assert_eq!(rules_of("src/lib.rs", bad), vec![(RuleId::NoEnvRead, 1)]);
+        assert!(rules_of("src/lib.rs", good).is_empty());
+        assert_eq!(
+            rules_of("src/lib.rs", dynamic),
+            vec![(RuleId::NoEnvRead, 1)]
+        );
+    }
+
+    #[test]
+    fn allows_suppress_same_and_next_line() {
+        let same = "fn f(x: f64) -> bool { x == 0.0 } // pvtm-lint: allow(no-float-eq) assigned sentinel\n";
+        let above = "// pvtm-lint: allow(no-float-eq) assigned sentinel\nfn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(rules_of("crates/x/src/a.rs", same).is_empty());
+        assert!(rules_of("crates/x/src/a.rs", above).is_empty());
+    }
+
+    #[test]
+    fn reasonless_unknown_and_stale_allows_are_reported() {
+        let reasonless = "fn f(x: f64) -> bool { x == 0.0 } // pvtm-lint: allow(no-float-eq)\n";
+        let d = lint_source("crates/x/src/a.rs", reasonless);
+        // The violation stays AND the allow itself is reported.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.rule == RuleId::LintAllow));
+
+        let unknown = "// pvtm-lint: allow(no-such-rule) because\n";
+        assert_eq!(rules_of("src/a.rs", unknown), vec![(RuleId::LintAllow, 1)]);
+
+        let stale = "// pvtm-lint: allow(no-hashmap) nothing here\nfn f() {}\n";
+        assert_eq!(rules_of("src/a.rs", stale), vec![(RuleId::LintAllow, 1)]);
+    }
+
+    #[test]
+    fn tests_and_benches_directories_are_skipped() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(rules_of("crates/sram/tests/x.rs", src).is_empty());
+        assert!(rules_of("crates/bench/benches/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "/// doc: x.unwrap() and HashMap\n\
+                   /* Instant::now() inside /* nested */ comment */\n\
+                   pub fn f() -> &'static str { \"HashMap == 0.0 panic!\" }\n";
+        assert!(rules_of("crates/sram/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Lexer edge cases: nothing in this file may produce a diagnostic. Every
+//! forbidden name below is fenced inside a string, raw string, char
+//! sequence, or comment.
+
+/// Doc comments mentioning HashMap, Instant::now() and x.unwrap() are prose.
+pub fn strings() -> &'static str {
+    "HashMap::new() and panic!(\"boom\") and x == 0.0"
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"Instant::now() "quoted" std::env::var("NOT_A_KNOB")"#
+}
+
+pub fn raw_string_long_fence() -> &'static str {
+    r##"a "# fence with HashSet inside"##
+}
+
+pub fn chars() -> (char, char) {
+    ('"', '\'')
+}
+
+/* Block comments nest in Rust: /* HashMap inside a nested comment */ and
+   the outer one keeps going with Instant::now() until here. */
+pub fn lifetimes<'a>(s: &'a str) -> &'a str {
+    s
+}

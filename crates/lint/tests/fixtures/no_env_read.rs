@@ -1,0 +1,13 @@
+//! Seeded violations for the `no-env-read` rule.
+
+pub fn undocumented() -> Option<String> {
+    std::env::var("PVTM_SECRET_KNOB").ok()
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn documented_knob_is_fine() -> Option<String> {
+    std::env::var("PVTM_TELEMETRY").ok()
+}

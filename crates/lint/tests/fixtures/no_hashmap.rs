@@ -1,0 +1,19 @@
+//! Seeded violations for the `no-hashmap` rule.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash: iteration order cannot leak into shipped results.
+    use std::collections::HashSet;
+
+    #[test]
+    fn hashset_in_tests_is_fine() {
+        let _ = HashSet::<u8>::new();
+    }
+}

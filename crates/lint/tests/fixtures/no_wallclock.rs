@@ -1,0 +1,20 @@
+//! Seeded violations for the `no-wallclock` rule.
+
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

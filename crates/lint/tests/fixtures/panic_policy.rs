@@ -1,0 +1,28 @@
+//! Seeded violations for the `panic-policy` rule. Linted under the
+//! pretend path `crates/sram/src/seeded.rs` so the crate scoping applies.
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("library code must not panic");
+    }
+}
+
+pub fn yank(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn terse(v: Option<u8>) -> u8 {
+    v.expect("bad value")
+}
+
+pub fn invariant_expect_is_fine(v: Option<u8>) -> u8 {
+    v.expect("caller guarantees the slot was filled above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3u8).unwrap(), 3);
+    }
+}

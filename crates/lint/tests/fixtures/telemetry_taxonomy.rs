@@ -1,0 +1,19 @@
+//! Seeded violations for the `telemetry-taxonomy` rule.
+
+pub fn unknown_root() {
+    pvtm_telemetry::counter_add("frobnicator.count", 1);
+}
+
+pub fn bad_shape() {
+    let _s = pvtm_telemetry::span("Eval.Margins");
+}
+
+pub fn dynamic_name(name: &'static str) {
+    pvtm_telemetry::gauge_set(name, 1.0);
+}
+
+pub fn known_names_are_fine() {
+    let _s = pvtm_telemetry::span("eval.margins");
+    pvtm_telemetry::counter_add("solver.newton_iterations", 1);
+    pvtm_telemetry::hist_record("mc.is_weight", 0.5);
+}

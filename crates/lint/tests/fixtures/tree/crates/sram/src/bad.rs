@@ -1,0 +1,8 @@
+//! Seeded violations for the walker / CI negative test: this file sits in
+//! a panic-policy crate of the fixture tree.
+
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {
+    *m.get(&k).unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded violations outside the panic-policy crates: wall clock, float
+//! equality, undocumented env knob, off-taxonomy telemetry name.
+
+use std::time::Instant;
+
+pub fn timed_eq(x: f64) -> bool {
+    let t = Instant::now();
+    pvtm_telemetry::gauge_set("wrong_root.reading", 1.0);
+    std::env::var("NOT_A_KNOB").is_ok() && x == 0.0 && t.elapsed().as_secs() == 0
+}

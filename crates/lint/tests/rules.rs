@@ -1,0 +1,309 @@
+//! Golden fixture tests: every rule fires on its seeded-violation fixture
+//! with exact positions, the suppression machinery behaves, the lexer edge
+//! cases stay silent, and the walker + baseline ratchet work end to end on
+//! the committed fixture tree.
+
+use pvtm_lint::baseline::{self, Baseline, Entry};
+use pvtm_lint::{lint_source, lint_tree, Diagnostic, RuleId};
+use std::path::Path;
+
+/// 1-based column of `needle` on 1-based `line` of `src`.
+fn col_of(src: &str, line: u32, needle: &str) -> u32 {
+    let text = src
+        .lines()
+        .nth(line as usize - 1)
+        .unwrap_or_else(|| panic!("fixture has no line {line}"));
+    text.find(needle)
+        .unwrap_or_else(|| panic!("{needle:?} not on line {line}: {text:?}")) as u32
+        + 1
+}
+
+/// Asserts `diags` matches `expected` — (line, col-needle, rule) triples —
+/// exactly and in order.
+fn assert_diags(src: &str, diags: &[Diagnostic], expected: &[(u32, &str, RuleId)]) {
+    let got: Vec<(u32, u32, RuleId)> = diags.iter().map(|d| (d.line, d.col, d.rule)).collect();
+    let want: Vec<(u32, u32, RuleId)> = expected
+        .iter()
+        .map(|&(line, needle, rule)| (line, col_of(src, line, needle), rule))
+        .collect();
+    assert_eq!(got, want, "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn no_hashmap_fires_on_fixture() {
+    let src = include_str!("fixtures/no_hashmap.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (3, "HashMap", RuleId::NoHashmap),
+            (4, "HashSet", RuleId::NoHashmap),
+            (6, "HashMap", RuleId::NoHashmap),
+            (7, "HashMap", RuleId::NoHashmap),
+        ],
+    );
+    assert!(
+        diags[0].message.contains("BTreeMap"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn no_wallclock_fires_on_fixture() {
+    let src = include_str!("fixtures/no_wallclock.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (3, "Instant", RuleId::NoWallclock),
+            (6, "Instant", RuleId::NoWallclock),
+            (10, "SystemTime", RuleId::NoWallclock),
+            (11, "SystemTime", RuleId::NoWallclock),
+        ],
+    );
+    assert!(
+        diags[0].message.contains("pvtm_telemetry::clock"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn no_float_eq_fires_on_fixture() {
+    let src = include_str!("fixtures/no_float_eq.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (4, "==", RuleId::NoFloatEq),
+            (8, "!=", RuleId::NoFloatEq),
+            (12, "==", RuleId::NoFloatEq),
+        ],
+    );
+    // `== 0.0` gets the dedicated sentinel fix-hint; the others do not.
+    assert!(
+        diags[0].message.contains("sentinel"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        !diags[1].message.contains("sentinel"),
+        "{}",
+        diags[1].message
+    );
+}
+
+#[test]
+fn panic_policy_fires_on_fixture() {
+    let src = include_str!("fixtures/panic_policy.rs");
+    let diags = lint_source("crates/sram/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (6, "panic", RuleId::PanicPolicy),
+            (11, "unwrap", RuleId::PanicPolicy),
+            (15, "expect", RuleId::PanicPolicy),
+        ],
+    );
+    // Outside the policy crates the same file is quiet.
+    assert!(lint_source("crates/bist/src/seeded.rs", src).is_empty());
+}
+
+#[test]
+fn telemetry_taxonomy_fires_on_fixture() {
+    let src = include_str!("fixtures/telemetry_taxonomy.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (4, "counter_add", RuleId::TelemetryTaxonomy),
+            (8, "span", RuleId::TelemetryTaxonomy),
+            (12, "gauge_set", RuleId::TelemetryTaxonomy),
+        ],
+    );
+    assert!(
+        diags[0].message.contains("frobnicator"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        diags[1].message.contains("dotted lowercase"),
+        "{}",
+        diags[1].message
+    );
+    assert!(
+        diags[2].message.contains("non-literal"),
+        "{}",
+        diags[2].message
+    );
+}
+
+#[test]
+fn no_env_read_fires_on_fixture() {
+    let src = include_str!("fixtures/no_env_read.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[(4, "var", RuleId::NoEnvRead), (8, "var", RuleId::NoEnvRead)],
+    );
+    assert!(
+        diags[0].message.contains("PVTM_SECRET_KNOB"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn suppression_fixture_behaves() {
+    let src = include_str!("fixtures/suppression.rs");
+    let diags = lint_source("crates/x/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            // Reason-less allow: the violation stays...
+            (14, "==", RuleId::NoFloatEq),
+            // ...and the allow itself is flagged.
+            (14, "// pvtm-lint", RuleId::LintAllow),
+            (17, "// pvtm-lint", RuleId::LintAllow),
+            (20, "// pvtm-lint", RuleId::LintAllow),
+            (23, "// pvtm-lint", RuleId::LintAllow),
+        ],
+    );
+    assert!(
+        diags[1].message.contains("without a reason"),
+        "{}",
+        diags[1].message
+    );
+    assert!(
+        diags[2].message.contains("unknown rule"),
+        "{}",
+        diags[2].message
+    );
+    assert!(diags[3].message.contains("stale"), "{}", diags[3].message);
+    assert!(
+        diags[4].message.contains("malformed"),
+        "{}",
+        diags[4].message
+    );
+}
+
+#[test]
+fn lexer_edge_cases_stay_silent() {
+    let src = include_str!("fixtures/lexer_edges.rs");
+    let diags = lint_source("crates/sram/src/seeded.rs", src);
+    assert_eq!(diags, vec![], "strings/comments must not produce findings");
+}
+
+fn fixture_tree() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tree"))
+}
+
+#[test]
+fn walker_lints_the_fixture_tree() {
+    let tree = lint_tree(fixture_tree()).expect("fixture tree is committed and readable");
+    assert_eq!(tree.files_scanned, 2);
+    let pairs: Vec<(&str, RuleId)> = tree
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.as_str(), d.rule))
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![
+            ("crates/sram/src/bad.rs", RuleId::NoHashmap),
+            ("crates/sram/src/bad.rs", RuleId::NoHashmap),
+            ("crates/sram/src/bad.rs", RuleId::PanicPolicy),
+            ("src/bad_env.rs", RuleId::NoWallclock),
+            ("src/bad_env.rs", RuleId::NoWallclock),
+            ("src/bad_env.rs", RuleId::TelemetryTaxonomy),
+            ("src/bad_env.rs", RuleId::NoEnvRead),
+            ("src/bad_env.rs", RuleId::NoFloatEq),
+        ],
+    );
+}
+
+#[test]
+fn baseline_ratchet_round_trips_on_the_fixture_tree() {
+    let tree = lint_tree(fixture_tree()).expect("fixture tree is committed and readable");
+
+    // An empty baseline fails everything.
+    let verdict = baseline::compare(&Baseline::default(), &tree.diagnostics);
+    assert_eq!(verdict.new.len(), tree.diagnostics.len());
+    assert!(verdict.baselined.is_empty());
+
+    // Ratcheting to today's findings absorbs them all...
+    let ratcheted = Baseline::default().ratcheted(&tree.diagnostics);
+    let verdict = baseline::compare(&ratcheted, &tree.diagnostics);
+    assert!(verdict.new.is_empty());
+    assert_eq!(verdict.baselined.len(), tree.diagnostics.len());
+    assert!(verdict.improvements.is_empty());
+
+    // ...and survives a JSON round trip.
+    let reloaded = Baseline::from_json(&ratcheted.to_json()).expect("own output parses");
+    assert_eq!(reloaded, ratcheted);
+
+    // A new finding beyond the allowance fails its whole (file, rule) group.
+    let mut extra = tree.diagnostics.clone();
+    extra.push(Diagnostic {
+        file: "src/bad_env.rs".to_string(),
+        line: 99,
+        col: 1,
+        rule: RuleId::NoFloatEq,
+        message: "seeded regression".to_string(),
+    });
+    let verdict = baseline::compare(&reloaded, &extra);
+    assert_eq!(verdict.new.len(), 2); // the old site and the new one
+    assert!(verdict.improvements.is_empty());
+
+    // Fixing a finding shows up as an improvement to ratchet down.
+    let fewer: Vec<Diagnostic> = tree
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule != RuleId::NoEnvRead)
+        .cloned()
+        .collect();
+    let verdict = baseline::compare(&reloaded, &fewer);
+    assert!(verdict.new.is_empty());
+    assert_eq!(
+        verdict.improvements,
+        vec![(
+            "src/bad_env.rs".to_string(),
+            "no-env-read".to_string(),
+            0,
+            1
+        )]
+    );
+}
+
+#[test]
+fn baseline_reasons_are_mandatory_and_preserved() {
+    let mut base = Baseline::default();
+    base.entries.insert(
+        (
+            "crates/sram/src/bad.rs".to_string(),
+            "panic-policy".to_string(),
+        ),
+        Entry {
+            count: 9,
+            reason: "documented caller contract".to_string(),
+        },
+    );
+    let tree = lint_tree(fixture_tree()).expect("fixture tree is committed and readable");
+    let next = base.ratcheted(&tree.diagnostics);
+    let kept = &next.entries[&(
+        "crates/sram/src/bad.rs".to_string(),
+        "panic-policy".to_string(),
+    )];
+    assert_eq!(kept.count, 1, "count ratchets down to today's findings");
+    assert_eq!(kept.reason, "documented caller contract");
+    let fresh = &next.entries[&("src/bad_env.rs".to_string(), "no-env-read".to_string())];
+    assert_eq!(fresh.reason, baseline::UNREVIEWED_REASON);
+}

@@ -666,6 +666,7 @@ impl CellAnalysis {
             // to a fractional x position on `xs`.
             for i in 1..POINTS {
                 let (a, b) = (g(i - 1), g(i));
+                // pvtm-lint: allow(no-float-eq) an exactly zero bracket endpoint is itself the root
                 if a == 0.0 {
                     return Some(xs[i - 1]);
                 }

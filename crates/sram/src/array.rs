@@ -101,9 +101,11 @@ impl ArrayOrganization {
             (0.0..=1.0).contains(&p_cell),
             "invalid probability {p_cell}"
         );
+        // pvtm-lint: allow(no-float-eq) degenerate probability endpoint has an exact closed form
         if p_cell == 0.0 {
             return 0.0;
         }
+        // pvtm-lint: allow(no-float-eq) degenerate probability endpoint has an exact closed form
         if p_cell == 1.0 {
             return 1.0;
         }
@@ -141,6 +143,7 @@ impl ArrayOrganization {
     /// (paper Eq. (3)): `Φ((L_MAX − µ_MEM)/σ_MEM)`.
     pub fn leakage_bound_prob(&self, cell: LeakageStats, l_max: f64) -> f64 {
         let stats = self.leakage_stats(cell);
+        // pvtm-lint: allow(no-float-eq) zero spread collapses the bound to a step function
         if stats.std_dev == 0.0 {
             return if stats.mean <= l_max { 1.0 } else { 0.0 };
         }

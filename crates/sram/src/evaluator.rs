@@ -147,6 +147,20 @@ impl CellEvaluator {
         }
     }
 
+    /// Slot lookup for a vsource that the netlist built in the same
+    /// function is guaranteed to declare.
+    fn vslot(tpl: &CircuitTemplate, name: &str) -> VsourceSlot {
+        tpl.vsource_slot(name)
+            .expect("netlist constructed above declares every named vsource")
+    }
+
+    /// Slot lookup for a mosfet that the netlist built in the same
+    /// function is guaranteed to declare.
+    fn mslot(tpl: &CircuitTemplate, name: &str) -> MosfetSlot {
+        tpl.mosfet_slot(name)
+            .expect("netlist constructed above declares every named mosfet")
+    }
+
     fn compile_read(cell: &SramCell) -> ReadTpl {
         let mut ckt = Netlist::new();
         let br = ckt.node("br");
@@ -166,13 +180,13 @@ impl CellEvaluator {
         let tpl = CircuitTemplate::compile(ckt, opts).expect("read divider compiles");
         ReadTpl {
             n_vr: vr,
-            vbr: tpl.vsource_slot("VBR").unwrap(),
-            vvl: tpl.vsource_slot("VVL").unwrap(),
-            vwl: tpl.vsource_slot("VWL").unwrap(),
-            vsl: tpl.vsource_slot("VSL").unwrap(),
-            vbn: tpl.vsource_slot("VBN").unwrap(),
-            axr: tpl.mosfet_slot("AXR").unwrap(),
-            nr: tpl.mosfet_slot("NR").unwrap(),
+            vbr: Self::vslot(&tpl, "VBR"),
+            vvl: Self::vslot(&tpl, "VVL"),
+            vwl: Self::vslot(&tpl, "VWL"),
+            vsl: Self::vslot(&tpl, "VSL"),
+            vbn: Self::vslot(&tpl, "VBN"),
+            axr: Self::mslot(&tpl, "AXR"),
+            nr: Self::mslot(&tpl, "NR"),
             tpl,
         }
     }
@@ -200,15 +214,15 @@ impl CellEvaluator {
         WriteTpl {
             n_vl: vl,
             n_vdd: vdd,
-            vdd: tpl.vsource_slot("VDD").unwrap(),
-            vvr: tpl.vsource_slot("VVR").unwrap(),
-            vbl: tpl.vsource_slot("VBL").unwrap(),
-            vwl: tpl.vsource_slot("VWL").unwrap(),
-            vsl: tpl.vsource_slot("VSL").unwrap(),
-            vbn: tpl.vsource_slot("VBN").unwrap(),
-            pl: tpl.mosfet_slot("PL").unwrap(),
-            nl: tpl.mosfet_slot("NL").unwrap(),
-            axl: tpl.mosfet_slot("AXL").unwrap(),
+            vdd: Self::vslot(&tpl, "VDD"),
+            vvr: Self::vslot(&tpl, "VVR"),
+            vbl: Self::vslot(&tpl, "VBL"),
+            vwl: Self::vslot(&tpl, "VWL"),
+            vsl: Self::vslot(&tpl, "VSL"),
+            vbn: Self::vslot(&tpl, "VBN"),
+            pl: Self::mslot(&tpl, "PL"),
+            nl: Self::mslot(&tpl, "NL"),
+            axl: Self::mslot(&tpl, "AXL"),
             tpl,
         }
     }
@@ -257,19 +271,19 @@ impl CellEvaluator {
             n_bl: bl,
             n_br: br,
             n_sl: sl,
-            vdd: tpl.vsource_slot("VDD").unwrap(),
-            vbl: tpl.vsource_slot("VBL").unwrap(),
-            vbr: tpl.vsource_slot("VBR").unwrap(),
-            vwl: tpl.vsource_slot("VWL").unwrap(),
-            vsl: tpl.vsource_slot("VSL").unwrap(),
-            vbn: tpl.vsource_slot("VBN").unwrap(),
+            vdd: Self::vslot(&tpl, "VDD"),
+            vbl: Self::vslot(&tpl, "VBL"),
+            vbr: Self::vslot(&tpl, "VBR"),
+            vwl: Self::vslot(&tpl, "VWL"),
+            vsl: Self::vslot(&tpl, "VSL"),
+            vbn: Self::vslot(&tpl, "VBN"),
             devices: [
-                tpl.mosfet_slot("PL").unwrap(),
-                tpl.mosfet_slot("NL").unwrap(),
-                tpl.mosfet_slot("PR").unwrap(),
-                tpl.mosfet_slot("NR").unwrap(),
-                tpl.mosfet_slot("AXL").unwrap(),
-                tpl.mosfet_slot("AXR").unwrap(),
+                Self::mslot(&tpl, "PL"),
+                Self::mslot(&tpl, "NL"),
+                Self::mslot(&tpl, "PR"),
+                Self::mslot(&tpl, "NR"),
+                Self::mslot(&tpl, "AXL"),
+                Self::mslot(&tpl, "AXR"),
             ],
             tpl,
         }
@@ -294,19 +308,20 @@ impl CellEvaluator {
         ckt.mosfet("PD", out, input, sl, bn, cell.device(Xtor::Nl));
         ckt.mosfet("AX", bit, wl, out, bn, cell.device(Xtor::Axl));
         let opts = DcOptions::default().guess(out, 0.0).guess(vdd, 0.0);
-        let tpl = CircuitTemplate::compile(ckt, opts).expect("inverter compiles");
+        let tpl = CircuitTemplate::compile(ckt, opts)
+            .expect("inverter netlist always compiles by construction");
         InvTpl {
             n_out: out,
             n_vdd: vdd,
-            vdd: tpl.vsource_slot("VDD").unwrap(),
-            vin: tpl.vsource_slot("VIN").unwrap(),
-            vbit: tpl.vsource_slot("VBIT").unwrap(),
-            vwl: tpl.vsource_slot("VWL").unwrap(),
-            vsl: tpl.vsource_slot("VSL").unwrap(),
-            vbn: tpl.vsource_slot("VBN").unwrap(),
-            pu: tpl.mosfet_slot("PU").unwrap(),
-            pd: tpl.mosfet_slot("PD").unwrap(),
-            ax: tpl.mosfet_slot("AX").unwrap(),
+            vdd: Self::vslot(&tpl, "VDD"),
+            vin: Self::vslot(&tpl, "VIN"),
+            vbit: Self::vslot(&tpl, "VBIT"),
+            vwl: Self::vslot(&tpl, "VWL"),
+            vsl: Self::vslot(&tpl, "VSL"),
+            vbn: Self::vslot(&tpl, "VBN"),
+            pu: Self::mslot(&tpl, "PU"),
+            pd: Self::mslot(&tpl, "PD"),
+            ax: Self::mslot(&tpl, "AX"),
             tpl,
         }
     }

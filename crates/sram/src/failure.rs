@@ -75,6 +75,7 @@ impl MarginModel {
     /// Failure probability `P[margin < 0]` from the linearization.
     pub fn failure_prob(&self) -> f64 {
         let s = self.sigma();
+        // pvtm-lint: allow(no-float-eq) zero sigma collapses the Gaussian to a step at the nominal
         if s == 0.0 {
             return if self.nominal < 0.0 { 1.0 } else { 0.0 };
         }

@@ -44,6 +44,7 @@ impl Normal {
 
     /// Cumulative distribution function.
     pub fn cdf(&self, x: f64) -> f64 {
+        // pvtm-lint: allow(no-float-eq) degenerate (sigma = 0) distribution is a point mass
         if self.sigma == 0.0 {
             return if x >= self.mean { 1.0 } else { 0.0 };
         }
@@ -56,6 +57,7 @@ impl Normal {
     ///
     /// Panics if `p` is outside `(0, 1)`.
     pub fn ppf(&self, p: f64) -> f64 {
+        // pvtm-lint: allow(no-float-eq) degenerate (sigma = 0) distribution is a point mass
         if self.sigma == 0.0 {
             assert!(p > 0.0 && p < 1.0, "ppf requires p in (0,1)");
             return self.mean;
@@ -138,6 +140,7 @@ impl LogNormal {
         if x <= 0.0 {
             return 0.0;
         }
+        // pvtm-lint: allow(no-float-eq) degenerate (sigma = 0) distribution is a point mass
         if self.sigma == 0.0 {
             return if x.ln() >= self.mu { 1.0 } else { 0.0 };
         }
@@ -146,6 +149,7 @@ impl LogNormal {
 
     /// Quantile function.
     pub fn ppf(&self, p: f64) -> f64 {
+        // pvtm-lint: allow(no-float-eq) degenerate (sigma = 0) distribution is a point mass
         if self.sigma == 0.0 {
             assert!(p > 0.0 && p < 1.0, "ppf requires p in (0,1)");
             return self.mu.exp();

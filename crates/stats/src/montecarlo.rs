@@ -34,6 +34,7 @@ impl McEstimate {
     /// Relative standard error (`std_err / value`), or infinity when the
     /// estimate is zero.
     pub fn rel_err(&self) -> f64 {
+        // pvtm-lint: allow(no-float-eq) an exactly zero estimate has no defined relative error
         if self.value == 0.0 {
             f64::INFINITY
         } else {

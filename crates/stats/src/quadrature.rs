@@ -78,7 +78,11 @@ impl GaussHermite {
         }
         // Order ascending for readability.
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("NaN node"));
+        idx.sort_by(|&a, &b| {
+            nodes[a]
+                .partial_cmp(&nodes[b])
+                .expect("Hermite nodes are finite by construction")
+        });
         let nodes_sorted = idx.iter().map(|&i| nodes[i]).collect();
         let weights_sorted = idx.iter().map(|&i| weights[i]).collect();
         Self {
@@ -112,6 +116,7 @@ impl GaussHermite {
     /// With `sigma == 0` this degenerates to `f(mean)`, which is exactly
     /// what the yield sweeps need at the σ→0 endpoint.
     pub fn expect_gaussian(&self, mean: f64, sigma: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        // pvtm-lint: allow(no-float-eq) sigma = 0 degenerates the expectation to f(mean) exactly
         if sigma == 0.0 {
             return f(mean);
         }

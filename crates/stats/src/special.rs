@@ -104,6 +104,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Panics if `a <= 0` or `x < 0`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
+    // pvtm-lint: allow(no-float-eq) gamma_p(a, 0) is exactly zero by definition
     if x == 0.0 {
         0.0
     } else if x < a + 1.0 {
@@ -123,6 +124,7 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 pub fn erf(x: f64) -> f64 {
     if x < 0.0 {
         -erf(-x)
+    // pvtm-lint: allow(no-float-eq) erf(0) is exactly zero by definition
     } else if x == 0.0 {
         0.0
     } else {
@@ -135,6 +137,7 @@ pub fn erf(x: f64) -> f64 {
 pub fn erfc(x: f64) -> f64 {
     if x < 0.0 {
         2.0 - erfc(-x)
+    // pvtm-lint: allow(no-float-eq) erfc(0) is exactly one by definition
     } else if x == 0.0 {
         1.0
     } else if x * x < 1.5 {
@@ -276,9 +279,11 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 /// Stable for tiny `p` (down to 1e-300) where the direct formula underflows.
 pub fn ln_binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
+    // pvtm-lint: allow(no-float-eq) degenerate Bernoulli endpoint has an exact log-pmf
     if p == 0.0 {
         return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
     }
+    // pvtm-lint: allow(no-float-eq) degenerate Bernoulli endpoint has an exact log-pmf
     if p == 1.0 {
         return if k == n { 0.0 } else { f64::NEG_INFINITY };
     }
@@ -315,6 +320,7 @@ pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
         }
         terms.push(l);
     }
+    // pvtm-lint: allow(no-float-eq) NEG_INFINITY is the assigned empty-accumulator sentinel
     if max_ln == f64::NEG_INFINITY {
         return 0.0;
     }
@@ -347,6 +353,7 @@ pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
                 break;
             }
         }
+        // pvtm-lint: allow(no-float-eq) NEG_INFINITY is the assigned empty-accumulator sentinel
         if max_ln == f64::NEG_INFINITY {
             return 0.0;
         }

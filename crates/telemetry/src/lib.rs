@@ -50,6 +50,7 @@
 //! tm::set_mode(tm::Mode::Off);
 //! ```
 
+pub mod clock;
 pub mod json;
 mod report;
 
@@ -59,7 +60,6 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
 
 // ---------------------------------------------------------------- mode gate
 
@@ -340,7 +340,7 @@ fn with_local(f: impl FnOnce(&mut Collector)) {
 /// RAII guard for a timed span; created by [`span`].
 #[derive(Debug)]
 pub struct SpanGuard {
-    start: Option<Instant>,
+    watch: clock::Stopwatch,
     /// Path length to restore on drop; `usize::MAX` marks an inactive guard.
     prev_len: usize,
 }
@@ -350,10 +350,7 @@ impl Drop for SpanGuard {
         if self.prev_len == usize::MAX {
             return;
         }
-        let ns = self
-            .start
-            .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
-            .unwrap_or(0);
+        let ns = self.watch.elapsed_ns();
         let prev_len = self.prev_len;
         with_local(|c| {
             if let Some(s) = c.spans.get_mut(&c.path) {
@@ -381,7 +378,7 @@ impl Drop for SpanGuard {
 pub fn span(name: &str) -> SpanGuard {
     if mode() != Mode::Full {
         return SpanGuard {
-            start: None,
+            watch: clock::Stopwatch::inert(),
             prev_len: usize::MAX,
         };
     }
@@ -395,7 +392,11 @@ pub fn span(name: &str) -> SpanGuard {
         c.path.push_str(name);
     });
     SpanGuard {
-        start: (prev_len != usize::MAX && clock_enabled()).then(Instant::now),
+        watch: if prev_len != usize::MAX {
+            clock::Stopwatch::started()
+        } else {
+            clock::Stopwatch::inert()
+        },
         prev_len,
     }
 }

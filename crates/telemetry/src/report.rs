@@ -196,6 +196,7 @@ fn running_points(chunks: &[ChunkStat]) -> Vec<TracePoint> {
             } else {
                 (variance / n as f64).sqrt()
             };
+            // pvtm-lint: allow(no-float-eq) an exactly zero mean has no defined relative error
             let rel_err = if mean == 0.0 {
                 f64::INFINITY
             } else {
