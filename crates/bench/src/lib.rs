@@ -87,12 +87,14 @@ impl Reporter {
         let report = pvtm_telemetry::snapshot();
 
         let result_path = pvtm::experiments::save_json(id, &value).expect("write result JSON");
-        let telemetry_path = if report.mode == pvtm_telemetry::Mode::Full {
+        let (telemetry_path, trace_path) = if report.mode == pvtm_telemetry::Mode::Full {
             let path = pvtm::experiments::results_dir().join(format!("{id}.telemetry.json"));
             std::fs::write(&path, report.to_json_pretty(id)).expect("write telemetry sidecar");
-            Some(path)
+            let tpath = pvtm::experiments::results_dir().join(format!("{id}.trace_events.json"));
+            std::fs::write(&tpath, report.to_trace_events_json(id)).expect("write trace events");
+            (Some(path), Some(tpath))
         } else {
-            None
+            (None, None)
         };
         self.append_jsonl(
             id,
@@ -100,6 +102,7 @@ impl Reporter {
             &report,
             &result_path,
             telemetry_path.as_deref(),
+            trace_path.as_deref(),
         );
 
         if !self.quiet {
@@ -127,6 +130,7 @@ impl Reporter {
         report: &pvtm_telemetry::Report,
         result_path: &Path,
         telemetry_path: Option<&Path>,
+        trace_path: Option<&Path>,
     ) {
         let line = obj(vec![
             ("id", Value::Str(id.to_string())),
@@ -142,6 +146,13 @@ impl Reporter {
             (
                 "telemetry",
                 match telemetry_path {
+                    Some(p) => Value::Str(p.display().to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "trace_events",
+                match trace_path {
                     Some(p) => Value::Str(p.display().to_string()),
                     None => Value::Null,
                 },

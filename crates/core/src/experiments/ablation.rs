@@ -77,13 +77,15 @@ pub fn ablation_monitor(effort: Effort) -> Result<MonitorAblation, CircuitError>
     let biases = [gen.rbb(), 0.0, gen.fbb()];
     let hold_vsb = memory.config().hold_vsb;
     let mut p_cell = vec![vec![0.0f64; corners.len()]; 3];
+    let ctx = pvtm_telemetry::parallel_context();
     let flat: Result<Vec<(usize, usize, f64)>, CircuitError> = (0..3)
         .flat_map(|bi| (0..corners.len()).map(move |ci| (bi, ci)))
         .collect::<Vec<_>>()
         .par_iter()
         .map_init(
-            || fa.evaluator(),
-            |ev, &(bi, ci)| {
+            || (pvtm_telemetry::adopt(&ctx), fa.evaluator()),
+            |(_ctx, ev), &(bi, ci)| {
+                ev.invalidate_warm();
                 let cond = Conditions::standby(&tech, hold_vsb).with_body_bias(biases[bi]);
                 let p = fa.failure_probs_with(ev, corners[ci], &cond)?.overall();
                 Ok((bi, ci, p))
@@ -289,9 +291,11 @@ pub fn ablation_bias_levels(effort: Effort) -> Result<BiasLevelAblation, Circuit
     let _span = pvtm_telemetry::span("ablation_bias_levels");
     let corners = linspace(-0.30, 0.30, effort.corners.max(7));
     let sigma = 0.12;
+    let ctx = pvtm_telemetry::parallel_context();
     let rows: Result<Vec<BiasLevelRow>, CircuitError> = [0.15f64, 0.30, 0.45, 0.60]
         .par_iter()
         .map(|&level| {
+            let _ctx = pvtm_telemetry::adopt(&ctx);
             let mut cfg = SelfRepairConfig::default_70nm(64, 102);
             cfg.generator = BodyBiasGenerator::new(-level, level);
             let memory = SelfRepairingMemory::new(cfg);

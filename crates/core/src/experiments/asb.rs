@@ -87,9 +87,11 @@ pub fn fig6(effort: Effort) -> Result<Fig6, CircuitError> {
     let analyzer = SourceBiasAnalyzer::new(&tech, sizing, config);
     let corners = linspace(-0.12, 0.12, effort.corners.max(5));
     use rayon::prelude::*;
+    let ctx = pvtm_telemetry::parallel_context();
     let rows: Result<Vec<Fig6Row>, CircuitError> = corners
         .par_iter()
         .map(|&vt_inter| {
+            let _ctx = pvtm_telemetry::adopt(&ctx);
             Ok(Fig6Row {
                 vt_inter,
                 vsb_max: analyzer.max_vsb(vt_inter, p_cell_target)?,
@@ -467,6 +469,7 @@ pub struct Headline {
 
 /// Aggregates the headline claims from the Fig. 2c and Fig. 10 results.
 pub fn headline(fig2c: &Fig2c, fig10: &Fig10) -> Headline {
+    let _span = pvtm_telemetry::span("headline");
     let last = fig10.rows.last().expect("fig10 sweep always produces rows");
     let fail_opt = 1.0 - last.h_yield_opt;
     let fail_adp = 1.0 - last.h_yield_adaptive;

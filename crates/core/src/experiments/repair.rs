@@ -86,11 +86,16 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
     let fa = FailureAnalyzer::new(&tech, sizing, config);
     let cond = Conditions::standby(&tech, HOLD_VSB);
     let corners = linspace(-0.15, 0.15, effort.corners.max(5));
+    let ctx = pvtm_telemetry::parallel_context();
     let rows: Result<Vec<Fig2aRow>, CircuitError> = corners
         .par_iter()
         .map_init(
-            || fa.evaluator(),
-            |ev, &vt_inter| {
+            || (pvtm_telemetry::adopt(&ctx), fa.evaluator()),
+            |(_ctx, ev), &vt_inter| {
+                // Cold-start each corner: per-corner solver work must not
+                // depend on which corners this worker processed before
+                // (keeps telemetry work counters schedule-independent).
+                ev.invalidate_warm();
                 let p = fa.failure_probs_with(ev, vt_inter, &cond)?;
                 Ok(Fig2aRow {
                     vt_inter,
@@ -202,11 +207,13 @@ pub fn fig2b(effort: Effort) -> Result<Fig2b, CircuitError> {
     let (tech, sizing, config) = baseline();
     let fa = FailureAnalyzer::new(&tech, sizing, config);
     let biases = linspace(-0.6, 0.6, effort.corners.max(5));
+    let ctx = pvtm_telemetry::parallel_context();
     let rows: Result<Vec<Fig2bRow>, CircuitError> = biases
         .par_iter()
         .map_init(
-            || fa.evaluator(),
-            |ev, &vbb| {
+            || (pvtm_telemetry::adopt(&ctx), fa.evaluator()),
+            |(_ctx, ev), &vbb| {
+                ev.invalidate_warm();
                 let cond = Conditions::standby(&tech, HOLD_VSB).with_body_bias(vbb);
                 let p = fa.failure_probs_with(ev, 0.0, &cond)?;
                 Ok(Fig2bRow {

@@ -57,9 +57,11 @@ pub fn scaling(_effort: Effort) -> Result<Scaling, CircuitError> {
         Technology::predictive_70nm(),
         Technology::predictive_45nm(),
     ];
+    let ctx = pvtm_telemetry::parallel_context();
     let rows: Result<Vec<ScalingRow>, CircuitError> = nodes
         .par_iter()
         .map(|tech| {
+            let _ctx = pvtm_telemetry::adopt(&ctx);
             let sizing = CellSizing::default_for(tech);
             let fa =
                 FailureAnalyzer::calibrate_timing(tech, sizing, AnalysisConfig::default(), 4.7)?;

@@ -221,11 +221,13 @@ impl SelfRepairingMemory {
     /// Propagates the first DC-solver failure encountered.
     pub fn response(&self, corners: &[f64]) -> Result<CornerResponse, CircuitError> {
         assert!(corners.len() >= 2, "need a corner grid");
+        let ctx = pvtm_telemetry::parallel_context();
         let points: Result<Vec<CornerPoint>, CircuitError> = corners
             .par_iter()
             .map_init(
-                || self.fa.evaluator(),
-                |ev, &corner| {
+                || (pvtm_telemetry::adopt(&ctx), self.fa.evaluator()),
+                |(_ctx, ev), &corner| {
+                    ev.invalidate_warm();
                     let region = self.classify(corner);
                     let bias = self.cfg.generator.bias_for(region);
                     let probs_zbb = self.cell_failure_probs_with(ev, corner, 0.0)?;

@@ -171,13 +171,18 @@ impl HoldModelGrid {
         let cells: Vec<(usize, usize)> = (0..corners.len())
             .flat_map(|ci| (0..vsbs.len()).map(move |vi| (ci, vi)))
             .collect();
+        let ctx = pvtm_telemetry::parallel_context();
         let models: Result<Vec<(usize, usize, HoldFailureModel)>, CircuitError> = cells
             .par_iter()
             .map_init(
-                // One compiled evaluator per worker thread; grid neighbours
-                // processed by the same worker warm-start each other.
-                || analyzer.fa.evaluator(),
-                |ev, &(ci, vi)| {
+                // One compiled evaluator per worker thread for allocation
+                // reuse; warm seeds are dropped at every grid point so the
+                // solver work per point is schedule-independent (warm
+                // starts still cover the multi-solve linearization within
+                // a point).
+                || (pvtm_telemetry::adopt(&ctx), analyzer.fa.evaluator()),
+                |(_ctx, ev), &(ci, vi)| {
+                    ev.invalidate_warm();
                     let cond = Conditions::standby(&analyzer.tech, vsbs[vi]);
                     let m = analyzer.fa.linearize_hold_with(ev, corners[ci], &cond)?;
                     Ok((ci, vi, m))

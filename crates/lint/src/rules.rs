@@ -126,6 +126,8 @@ pub const SPAN_ROOTS: &[&str] = &[
     "optimizer",
     "eval",
     "dc",
+    "mc",
+    "headline",
 ];
 
 /// First dotted segments of valid counter/gauge/histogram names

@@ -364,6 +364,24 @@ impl CellEvaluator {
         self.inv.tpl.set_warm_start(enabled);
     }
 
+    /// Drops the warm seeds on all four templates; the next solve of each
+    /// runs cold.
+    ///
+    /// Parallel sweeps call this at work-item boundaries so the solver
+    /// work spent on an item is a function of the item alone, not of which
+    /// items the same worker happened to process before it — that
+    /// schedule-independence is what makes the telemetry work counters
+    /// (and the margins themselves, at the Newton-tolerance level)
+    /// byte-reproducible across runs, which the perf-budget CI gate
+    /// relies on. Warm reuse *within* an item is untouched and carries
+    /// the hot-path speedup.
+    pub fn invalidate_warm(&mut self) {
+        self.read.tpl.invalidate_warm();
+        self.write.tpl.invalidate_warm();
+        self.hold.tpl.invalidate_warm();
+        self.inv.tpl.invalidate_warm();
+    }
+
     /// Solver statistics merged across the four templates.
     pub fn stats(&self) -> SolverStats {
         let mut s = SolverStats::default();

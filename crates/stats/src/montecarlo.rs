@@ -78,9 +78,12 @@ pub fn mc_mean(n: u64, seed: u64, f: impl Fn(&mut StdRng) -> f64 + Sync) -> McEs
     assert!(n > 0, "mc_mean needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
     let trace = trace_for_chunks();
+    let ctx = pvtm_telemetry::parallel_context();
     let summary = (0..chunks)
         .into_par_iter()
         .map(|c| {
+            let _adopt = pvtm_telemetry::adopt(&ctx);
+            let _span = pvtm_telemetry::span("mc.chunk");
             let mut rng = crate::rng::substream(seed, c);
             let lo = c * CHUNK;
             let hi = ((c + 1) * CHUNK).min(n);
@@ -110,9 +113,12 @@ pub fn mc_probability(n: u64, seed: u64, event: impl Fn(&mut StdRng) -> bool + S
     assert!(n > 0, "mc_probability needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
     let trace = trace_for_chunks();
+    let ctx = pvtm_telemetry::parallel_context();
     let hits: u64 = (0..chunks)
         .into_par_iter()
         .map(|c| {
+            let _adopt = pvtm_telemetry::adopt(&ctx);
+            let _span = pvtm_telemetry::span("mc.chunk");
             let mut rng = crate::rng::substream(seed, c);
             let lo = c * CHUNK;
             let hi = ((c + 1) * CHUNK).min(n);
@@ -223,9 +229,12 @@ impl ImportanceSampler {
         let d = self.shift.len();
         let chunks = n.div_ceil(CHUNK);
         let trace = trace_for_chunks();
+        let ctx = pvtm_telemetry::parallel_context();
         let summary = (0..chunks)
             .into_par_iter()
             .map(|c| {
+                let _adopt = pvtm_telemetry::adopt(&ctx);
+                let _span = pvtm_telemetry::span("mc.chunk");
                 let mut rng = crate::rng::substream(seed, c);
                 let lo = c * CHUNK;
                 let hi = ((c + 1) * CHUNK).min(n);

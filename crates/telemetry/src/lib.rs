@@ -53,8 +53,11 @@
 pub mod clock;
 pub mod json;
 mod report;
+mod trace_events;
 
-pub use report::{HistBucket, HistRow, Report, SolverSummary, SpanRow, TracePoint, TraceRow};
+pub use report::{
+    HistBucket, HistRow, Report, SolverSummary, SpanRow, TracePoint, TraceRow, SCHEMA_VERSION,
+};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -153,10 +156,37 @@ pub fn set_clock_enabled(on: bool) {
 
 // ---------------------------------------------------------------- collector
 
+/// Solver work charged to a span: the subset of [`SolverDelta`] that the
+/// attribution model follows per span path (the rest stays global-only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanSolver {
+    pub(crate) solves: u64,
+    pub(crate) newton_iterations: u64,
+    pub(crate) lu_factorizations: u64,
+    pub(crate) cold_solves: u64,
+}
+
+impl SpanSolver {
+    fn add(&mut self, other: &SpanSolver) {
+        self.solves += other.solves;
+        self.newton_iterations += other.newton_iterations;
+        self.lu_factorizations += other.lu_factorizations;
+        self.cold_solves += other.cold_solves;
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub(crate) struct SpanStat {
     pub(crate) count: u64,
     pub(crate) total_ns: u64,
+    /// Wall-clock accumulated by direct children (same-thread nesting and
+    /// spans adopted under this path by parallel workers). The report
+    /// derives `self_ns = total_ns - child_ns`, saturating at zero — a
+    /// parallel region's children can sum to more CPU time than the
+    /// parent's wall-clock.
+    pub(crate) child_ns: u64,
+    /// Solver work recorded while this path was the innermost span.
+    pub(crate) solver: SpanSolver,
 }
 
 /// A log2-bucketed histogram: bucket `e` counts values in `[2^e, 2^(e+1))`.
@@ -264,6 +294,8 @@ impl Collector {
             let e = g.spans.entry(path).or_default();
             e.count += s.count;
             e.total_ns += s.total_ns;
+            e.child_ns += s.child_ns;
+            e.solver.add(&s.solver);
         }
         for (k, v) in std::mem::take(&mut self.counters) {
             *g.counters.entry(k).or_insert(0) += v;
@@ -362,10 +394,28 @@ impl Drop for SpanGuard {
                     SpanStat {
                         count: 1,
                         total_ns: ns,
+                        ..SpanStat::default()
                     },
                 );
             }
             c.path.truncate(prev_len);
+            // Charge this span's wall-clock to the parent (after the
+            // truncate, `c.path` *is* the parent path — an adopted prefix
+            // counts too, which is what keeps post-hoc-merged worker spans
+            // from double-counting into the parent's self-time).
+            if !c.path.is_empty() {
+                if let Some(p) = c.spans.get_mut(&c.path) {
+                    p.child_ns += ns;
+                } else {
+                    c.spans.insert(
+                        c.path.clone(),
+                        SpanStat {
+                            child_ns: ns,
+                            ..SpanStat::default()
+                        },
+                    );
+                }
+            }
         });
     }
 }
@@ -399,6 +449,72 @@ pub fn span(name: &str) -> SpanGuard {
         },
         prev_len,
     }
+}
+
+// ------------------------------------------------- parallel span adoption
+
+/// Cloneable capture of the calling thread's current span path, taken at a
+/// parallel fan-out boundary by [`parallel_context`] and re-established on
+/// worker threads with [`adopt`].
+#[derive(Debug, Clone)]
+pub struct SpanContext {
+    path: Option<Arc<str>>,
+}
+
+/// Captures the current span path (the coordinating thread's innermost
+/// open span) so worker closures can [`adopt`] it. Returns an inert
+/// context unless [`Mode::Full`] is active and a span is open.
+#[must_use]
+pub fn parallel_context() -> SpanContext {
+    if mode() != Mode::Full {
+        return SpanContext { path: None };
+    }
+    let mut path = None;
+    with_local(|c| {
+        if !c.path.is_empty() {
+            path = Some(Arc::from(c.path.as_str()));
+        }
+    });
+    SpanContext { path }
+}
+
+/// RAII guard restoring a worker thread's span path on drop; created by
+/// [`adopt`].
+#[derive(Debug)]
+#[must_use = "the adopted span path lasts only while the guard lives"]
+pub struct AdoptGuard {
+    adopted: bool,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if self.adopted {
+            with_local(|c| c.path.clear());
+        }
+    }
+}
+
+/// Re-establishes the captured span path on this thread, so spans opened
+/// (and solver work recorded) by a parallel worker nest under the
+/// coordinator's span exactly as same-thread children do. A no-op when the
+/// context is inert or the thread already has an open span (the rayon
+/// shim's single-core inline fallback runs workers on the coordinating
+/// thread, whose path is already the context).
+pub fn adopt(ctx: &SpanContext) -> AdoptGuard {
+    let Some(path) = &ctx.path else {
+        return AdoptGuard { adopted: false };
+    };
+    if mode() != Mode::Full {
+        return AdoptGuard { adopted: false };
+    }
+    let mut adopted = false;
+    with_local(|c| {
+        if c.path.is_empty() {
+            c.path.push_str(path);
+            adopted = true;
+        }
+    });
+    AdoptGuard { adopted }
 }
 
 // ------------------------------------------------- counters / gauges / hists
@@ -447,6 +563,27 @@ pub fn record_solver(delta: &SolverDelta) {
             .entry("solver.newton_per_solve")
             .or_default()
             .record(delta.newton_iterations as f64);
+        // Attribution: charge the innermost span (empty outside Full mode,
+        // so this costs nothing on the Summary-mode hot path).
+        if !c.path.is_empty() {
+            let charge = SpanSolver {
+                solves: delta.solves,
+                newton_iterations: delta.newton_iterations,
+                lu_factorizations: delta.lu_factorizations,
+                cold_solves: delta.cold_solves,
+            };
+            if let Some(s) = c.spans.get_mut(&c.path) {
+                s.solver.add(&charge);
+            } else {
+                c.spans.insert(
+                    c.path.clone(),
+                    SpanStat {
+                        solver: charge,
+                        ..SpanStat::default()
+                    },
+                );
+            }
+        }
     });
 }
 

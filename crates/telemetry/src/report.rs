@@ -3,7 +3,12 @@
 use crate::json::{obj, Value};
 use crate::{ChunkStat, Global, Mode};
 
-/// One span path's aggregate.
+/// Current sidecar schema version. Version 2 added `schema_version` itself
+/// plus per-span attribution (`self_ns`, solver counters per span);
+/// consumers must tolerate its absence and treat such documents as v1.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// One span path's aggregate, with self/child-time and solver attribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRow {
     /// `/`-joined span path.
@@ -12,6 +17,21 @@ pub struct SpanRow {
     pub count: u64,
     /// Total nanoseconds inside the span (0 with the clock disabled).
     pub total_ns: u64,
+    /// Nanoseconds accumulated by direct children — same-thread nesting
+    /// plus worker spans adopted under this path via
+    /// [`crate::parallel_context`]/[`crate::adopt`].
+    pub child_ns: u64,
+    /// `total_ns - child_ns`, saturating at zero (parallel children can
+    /// sum to more CPU time than the parent's wall-clock).
+    pub self_ns: u64,
+    /// DC solves charged to this span (innermost-span attribution).
+    pub solves: u64,
+    /// Newton iterations charged to this span.
+    pub newton_iterations: u64,
+    /// LU factorizations charged to this span.
+    pub lu_factorizations: u64,
+    /// Cold solves charged to this span.
+    pub cold_solves: u64,
 }
 
 /// One log2 histogram bucket: counts values in `[2^log2, 2^(log2+1))`.
@@ -119,6 +139,12 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
                 path: path.clone(),
                 count: s.count,
                 total_ns: s.total_ns,
+                child_ns: s.child_ns,
+                self_ns: s.total_ns.saturating_sub(s.child_ns),
+                solves: s.solver.solves,
+                newton_iterations: s.solver.newton_iterations,
+                lu_factorizations: s.solver.lu_factorizations,
+                cold_solves: s.solver.cold_solves,
             })
             .collect(),
         counters: g
@@ -237,7 +263,8 @@ impl Report {
     /// JSON tree.
     pub fn to_value(&self, id: &str) -> Value {
         obj(vec![
-            ("schema", Value::Str("pvtm-telemetry/1".into())),
+            ("schema", Value::Str("pvtm-telemetry/2".into())),
+            ("schema_version", Value::Num(f64::from(SCHEMA_VERSION))),
             ("id", Value::Str(id.into())),
             ("mode", Value::Str(self.mode.as_str().into())),
             ("clock", Value::Bool(self.clock)),
@@ -330,6 +357,7 @@ impl Report {
                                 ("path", Value::Str(s.path.clone())),
                                 ("count", Value::Num(s.count as f64)),
                                 ("total_ns", Value::Num(s.total_ns as f64)),
+                                ("self_ns", Value::Num(s.self_ns as f64)),
                                 (
                                     "mean_ns",
                                     Value::Num(if s.count == 0 {
@@ -338,6 +366,10 @@ impl Report {
                                         s.total_ns as f64 / s.count as f64
                                     }),
                                 ),
+                                ("solves", Value::Num(s.solves as f64)),
+                                ("newton_iterations", Value::Num(s.newton_iterations as f64)),
+                                ("lu_factorizations", Value::Num(s.lu_factorizations as f64)),
+                                ("cold_solves", Value::Num(s.cold_solves as f64)),
                             ])
                         })
                         .collect(),
@@ -442,7 +474,11 @@ mod tests {
         let r = crate::snapshot();
         let text = r.to_json_pretty("fig");
         let v = json::parse(&text).unwrap();
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("pvtm-telemetry/1"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pvtm-telemetry/2"));
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(u64::from(crate::SCHEMA_VERSION))
+        );
         assert_eq!(v.get("id").unwrap().as_str(), Some("fig"));
         assert_eq!(
             v.get("solver").unwrap().get("solves").unwrap().as_u64(),

@@ -1,0 +1,268 @@
+//! `pvtm-trace check` — gate sidecars against `perf-budgets.json`.
+//!
+//! A budget is a hard ceiling on a **deterministic work counter** (DC
+//! solves, Newton iterations, LU factorizations, cold solves) for one
+//! figure. Because those counters are byte-identical across runs with
+//! `PVTM_TELEMETRY_CLOCK=off`, the gate has zero flake: exceeding a
+//! budget means the code does more numerical work, full stop.
+//!
+//! The ratchet mirrors the pvtm-lint baseline semantics:
+//!
+//! - observed > budget → violation (gate fails);
+//! - observed < budget → pass, with a slack note nudging a ratchet-down;
+//! - `--update-budgets` rewrites the file to the observed values, which
+//!   is how both ratchets *and* intentional regressions get recorded —
+//!   the diff of `perf-budgets.json` is then reviewed like any other.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pvtm_telemetry::json::{self, Value};
+
+use crate::sidecar::Sidecar;
+
+/// The budget metrics maintained by `--update-budgets`: the solver work
+/// counters that are deterministic under a fixed seed.
+pub const DEFAULT_METRICS: &[&str] = &[
+    "solver.solves",
+    "solver.newton_iterations",
+    "solver.lu_factorizations",
+    "solver.cold_solves",
+];
+
+/// Budget-file rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Parsed `perf-budgets.json`: figure id → metric name → ceiling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Per-figure metric ceilings, both levels name-sorted.
+    pub figures: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Budgets {
+    /// Parses budget-file text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or the wrong `schema` marker.
+    pub fn parse(text: &str) -> Result<Budgets, BudgetError> {
+        let doc = json::parse(text).map_err(|e| BudgetError {
+            message: format!("malformed perf-budgets JSON: {e}"),
+        })?;
+        if doc.get("schema").and_then(Value::as_str) != Some("pvtm-perf-budgets/1") {
+            return Err(BudgetError {
+                message: "perf-budgets file must have schema \"pvtm-perf-budgets/1\"".into(),
+            });
+        }
+        let mut figures = BTreeMap::new();
+        if let Some(Value::Obj(figs)) = doc.get("budgets") {
+            for (id, metrics) in figs {
+                let mut map = BTreeMap::new();
+                if let Value::Obj(members) = metrics {
+                    for (name, v) in members {
+                        if let Some(n) = v.as_u64() {
+                            map.insert(name.clone(), n);
+                        }
+                    }
+                }
+                figures.insert(id.clone(), map);
+            }
+        }
+        Ok(Budgets { figures })
+    }
+
+    /// Renders the canonical pretty JSON form (BTreeMap ordering makes
+    /// the output deterministic, so the checked-in file diffs cleanly).
+    pub fn to_json_pretty(&self) -> String {
+        let figs: Vec<(String, Value)> = self
+            .figures
+            .iter()
+            .map(|(id, metrics)| {
+                (
+                    id.clone(),
+                    Value::Obj(
+                        metrics
+                            .iter()
+                            .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        let mut s = json::obj(vec![
+            ("schema", Value::Str("pvtm-perf-budgets/1".into())),
+            ("budgets", Value::Obj(figs)),
+        ])
+        .to_json_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+/// Result of checking sidecars against budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Human-readable findings, one per line.
+    pub text: String,
+    /// Hard failures: budget exceeded, or no budget for a figure.
+    pub violations: usize,
+    /// Advisory slack notes: observed below the ceiling.
+    pub slack_notes: usize,
+}
+
+impl CheckOutcome {
+    /// Whether the gate fails.
+    pub fn failed(&self) -> bool {
+        self.violations > 0
+    }
+}
+
+/// Checks each sidecar against its figure's budgets.
+pub fn check(budgets: &Budgets, sidecars: &[Sidecar]) -> CheckOutcome {
+    let mut out = CheckOutcome {
+        text: String::new(),
+        violations: 0,
+        slack_notes: 0,
+    };
+    for sc in sidecars {
+        let Some(figure) = budgets.figures.get(&sc.id) else {
+            out.violations += 1;
+            out.text.push_str(&format!(
+                "FAIL {}: no budget entry — record one with --update-budgets\n",
+                sc.id
+            ));
+            continue;
+        };
+        for (metric, &max) in figure {
+            let observed = sc.metric(metric).unwrap_or(0);
+            if observed > max {
+                out.violations += 1;
+                out.text.push_str(&format!(
+                    "FAIL {}: {metric} = {observed} exceeds budget {max} (+{})\n",
+                    sc.id,
+                    observed - max
+                ));
+            } else if observed < max {
+                out.slack_notes += 1;
+                out.text.push_str(&format!(
+                    "note {}: {metric} = {observed} is under budget {max} (-{}) — \
+                     ratchet down with --update-budgets\n",
+                    sc.id,
+                    max - observed
+                ));
+            } else {
+                out.text
+                    .push_str(&format!("ok   {}: {metric} = {observed}\n", sc.id));
+            }
+        }
+    }
+    out
+}
+
+/// Returns `budgets` with each sidecar's figure entry replaced by the
+/// observed [`DEFAULT_METRICS`] values — the ratchet write. Entries for
+/// figures not in `sidecars` are kept as-is.
+pub fn update_budgets(budgets: &Budgets, sidecars: &[Sidecar]) -> Budgets {
+    let mut next = budgets.clone();
+    for sc in sidecars {
+        let metrics = DEFAULT_METRICS
+            .iter()
+            .map(|&m| (m.to_string(), sc.metric(m).unwrap_or(0)))
+            .collect();
+        next.figures.insert(sc.id.clone(), metrics);
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sidecar(id: &str, solves: u64, newton: u64) -> Sidecar {
+        Sidecar {
+            id: id.into(),
+            mode: "full".into(),
+            clock: false,
+            schema_version: 2,
+            solver: BTreeMap::from([
+                ("solves".to_string(), solves),
+                ("newton_iterations".to_string(), newton),
+                ("lu_factorizations".to_string(), 7),
+                ("cold_solves".to_string(), 2),
+            ]),
+            counters: BTreeMap::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn budgets_round_trip_through_json() {
+        let b = update_budgets(&Budgets::default(), &[sidecar("fig2a", 100, 321)]);
+        let text = b.to_json_pretty();
+        let parsed = Budgets::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.figures["fig2a"]["solver.newton_iterations"], 321);
+    }
+
+    #[test]
+    fn exact_match_passes_cleanly() {
+        let sc = sidecar("fig2a", 100, 321);
+        let b = update_budgets(&Budgets::default(), std::slice::from_ref(&sc));
+        let out = check(&b, &[sc]);
+        assert!(!out.failed());
+        assert_eq!(out.slack_notes, 0);
+    }
+
+    #[test]
+    fn exceeding_a_budget_fails() {
+        let b = update_budgets(&Budgets::default(), &[sidecar("fig2a", 100, 321)]);
+        let out = check(&b, &[sidecar("fig2a", 100, 400)]);
+        assert!(out.failed());
+        assert!(out
+            .text
+            .contains("solver.newton_iterations = 400 exceeds budget 321"));
+    }
+
+    #[test]
+    fn under_budget_passes_with_ratchet_note() {
+        let b = update_budgets(&Budgets::default(), &[sidecar("fig2a", 100, 321)]);
+        let out = check(&b, &[sidecar("fig2a", 100, 300)]);
+        assert!(!out.failed());
+        assert_eq!(out.slack_notes, 1);
+        assert!(out.text.contains("ratchet down"));
+    }
+
+    #[test]
+    fn missing_budget_entry_fails() {
+        let out = check(&Budgets::default(), &[sidecar("fig2a", 1, 1)]);
+        assert!(out.failed());
+        assert!(out.text.contains("no budget entry"));
+    }
+
+    #[test]
+    fn update_preserves_unrelated_figures() {
+        let b = update_budgets(&Budgets::default(), &[sidecar("fig6", 5, 9)]);
+        let b2 = update_budgets(&b, &[sidecar("fig2a", 100, 321)]);
+        assert!(b2.figures.contains_key("fig6"));
+        assert!(b2.figures.contains_key("fig2a"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(Budgets::parse(r#"{"schema": "nope", "budgets": {}}"#).is_err());
+    }
+}

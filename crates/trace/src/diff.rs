@@ -1,0 +1,246 @@
+//! `pvtm-trace diff` — compare two sidecars of the same figure.
+//!
+//! Two very different kinds of signal come out of a sidecar, and the diff
+//! treats them accordingly:
+//!
+//! - **Work counters** (solves, Newton iterations, LU factorizations,
+//!   named event counters) are deterministic with a fixed seed, so any
+//!   change is a real algorithmic change — reported exactly, and an
+//!   *increase* fails the diff.
+//! - **Wall-clock** is noisy on shared machines, so span-time changes are
+//!   advisory: flagged only beyond a relative tolerance, never fatal.
+
+use std::collections::BTreeSet;
+
+use crate::sidecar::Sidecar;
+
+/// Result of diffing two sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// Human-readable diff, one finding per line.
+    pub text: String,
+    /// Work-counter deltas found (exact; any entry means the runs did
+    /// different work).
+    pub counter_changes: usize,
+    /// Work-counter *increases* — the regressions that fail the diff.
+    pub regressions: usize,
+    /// Advisory wall-clock findings beyond the tolerance.
+    pub time_flags: usize,
+}
+
+impl DiffOutcome {
+    /// Whether the diff should fail a gate (some work counter increased).
+    pub fn failed(&self) -> bool {
+        self.regressions > 0
+    }
+}
+
+fn fmt_delta(out: &mut DiffOutcome, name: &str, old: u64, new: u64) {
+    if new == old {
+        return;
+    }
+    out.counter_changes += 1;
+    if new > old {
+        out.regressions += 1;
+        out.text.push_str(&format!(
+            "  REGRESSION {name}: {old} -> {new} (+{})\n",
+            new - old
+        ));
+    } else {
+        out.text.push_str(&format!(
+            "  improvement {name}: {old} -> {new} (-{})\n",
+            old - new
+        ));
+    }
+}
+
+/// Diffs `old` against `new` with the given relative wall-clock
+/// tolerance (e.g. `0.2` flags spans that got ≥20 % slower).
+pub fn diff(old: &Sidecar, new: &Sidecar, time_tolerance: f64) -> DiffOutcome {
+    let mut out = DiffOutcome {
+        text: String::new(),
+        counter_changes: 0,
+        regressions: 0,
+        time_flags: 0,
+    };
+    out.text
+        .push_str(&format!("diff {} (old) vs {} (new)\n", old.id, new.id));
+    if old.schema_version != new.schema_version {
+        out.text.push_str(&format!(
+            "  note: schema v{} vs v{} — attribution fields may default on the older side\n",
+            old.schema_version, new.schema_version
+        ));
+    }
+
+    out.text.push_str("work counters (exact):\n");
+    let solver_keys: BTreeSet<&String> = old.solver.keys().chain(new.solver.keys()).collect();
+    for k in solver_keys {
+        fmt_delta(
+            &mut out,
+            &format!("solver.{k}"),
+            old.solver_counter(k),
+            new.solver_counter(k),
+        );
+    }
+    let counter_keys: BTreeSet<&String> = old.counters.keys().chain(new.counters.keys()).collect();
+    for k in counter_keys {
+        fmt_delta(
+            &mut out,
+            &format!("counter.{k}"),
+            old.counters.get(k).copied().unwrap_or(0),
+            new.counters.get(k).copied().unwrap_or(0),
+        );
+    }
+    // Per-span solver attribution: where the extra work landed.
+    let span_paths: BTreeSet<&String> = old
+        .spans
+        .iter()
+        .map(|s| &s.path)
+        .chain(new.spans.iter().map(|s| &s.path))
+        .collect();
+    for path in &span_paths {
+        let o = old.spans.iter().find(|s| &&s.path == path);
+        let n = new.spans.iter().find(|s| &&s.path == path);
+        let get = |s: Option<&&crate::sidecar::Span>, f: fn(&crate::sidecar::Span) -> u64| {
+            s.map(|s| f(s)).unwrap_or(0)
+        };
+        fmt_delta(
+            &mut out,
+            &format!("span[{path}].newton_iterations"),
+            get(o.as_ref(), |s| s.newton_iterations),
+            get(n.as_ref(), |s| s.newton_iterations),
+        );
+        fmt_delta(
+            &mut out,
+            &format!("span[{path}].solves"),
+            get(o.as_ref(), |s| s.solves),
+            get(n.as_ref(), |s| s.solves),
+        );
+    }
+    if out.counter_changes == 0 {
+        out.text.push_str("  (identical)\n");
+    }
+
+    out.text.push_str(&format!(
+        "wall-clock (advisory, ±{:.0}% tolerance):\n",
+        100.0 * time_tolerance
+    ));
+    if !old.clock || !new.clock {
+        out.text
+            .push_str("  (skipped — at least one run had the clock gated off)\n");
+        return out;
+    }
+    let mut flagged = false;
+    for path in &span_paths {
+        let o_ns = old
+            .spans
+            .iter()
+            .find(|s| &&s.path == path)
+            .map(|s| s.total_ns)
+            .unwrap_or(0);
+        let n_ns = new
+            .spans
+            .iter()
+            .find(|s| &&s.path == path)
+            .map(|s| s.total_ns)
+            .unwrap_or(0);
+        if o_ns == 0 {
+            continue;
+        }
+        let ratio = n_ns as f64 / o_ns as f64;
+        if ratio > 1.0 + time_tolerance || ratio < 1.0 - time_tolerance {
+            flagged = true;
+            out.time_flags += 1;
+            let dir = if ratio > 1.0 { "slower" } else { "faster" };
+            out.text.push_str(&format!(
+                "  span[{path}]: {:.3} ms -> {:.3} ms ({:+.0}% {dir})\n",
+                o_ns as f64 / 1e6,
+                n_ns as f64 / 1e6,
+                100.0 * (ratio - 1.0),
+            ));
+        }
+    }
+    if !flagged {
+        out.text.push_str("  (within tolerance)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sidecar::Span;
+    use std::collections::BTreeMap;
+
+    fn base() -> Sidecar {
+        Sidecar {
+            id: "fig".into(),
+            mode: "full".into(),
+            clock: true,
+            schema_version: 2,
+            solver: BTreeMap::from([("solves".to_string(), 100), ("cold_solves".to_string(), 4)]),
+            counters: BTreeMap::from([("mc.samples".to_string(), 4096)]),
+            spans: vec![Span {
+                path: "fig".into(),
+                count: 1,
+                total_ns: 1_000_000,
+                self_ns: 1_000_000,
+                solves: 100,
+                newton_iterations: 300,
+                lu_factorizations: 300,
+                cold_solves: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let a = base();
+        let out = diff(&a, &a, 0.2);
+        assert!(!out.failed());
+        assert_eq!(out.counter_changes, 0);
+        assert!(out.text.contains("(identical)"));
+        assert!(out.text.contains("(within tolerance)"));
+    }
+
+    #[test]
+    fn counter_increase_is_a_regression() {
+        let a = base();
+        let mut b = base();
+        b.solver.insert("solves".into(), 120);
+        let out = diff(&a, &b, 0.2);
+        assert!(out.failed());
+        assert!(out.text.contains("REGRESSION solver.solves: 100 -> 120"));
+    }
+
+    #[test]
+    fn counter_decrease_is_an_improvement_not_a_failure() {
+        let a = base();
+        let mut b = base();
+        b.solver.insert("cold_solves".into(), 1);
+        let out = diff(&a, &b, 0.2);
+        assert!(!out.failed());
+        assert_eq!(out.counter_changes, 1);
+        assert!(out.text.contains("improvement solver.cold_solves"));
+    }
+
+    #[test]
+    fn slow_span_is_advisory_only() {
+        let a = base();
+        let mut b = base();
+        b.spans[0].total_ns = 2_000_000;
+        let out = diff(&a, &b, 0.2);
+        assert!(!out.failed(), "wall-clock never fails the diff");
+        assert_eq!(out.time_flags, 1);
+        assert!(out.text.contains("slower"));
+    }
+
+    #[test]
+    fn clock_off_skips_wall_clock_section() {
+        let mut a = base();
+        a.clock = false;
+        let out = diff(&a, &a, 0.2);
+        assert!(out.text.contains("clock gated off"));
+        assert_eq!(out.time_flags, 0);
+    }
+}

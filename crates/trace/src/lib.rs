@@ -1,0 +1,31 @@
+//! `pvtm-trace` — the consumer half of the workspace's observability loop.
+//!
+//! `pvtm-telemetry` (the producer) writes one `results/<id>.telemetry.json`
+//! sidecar per figure run. This crate reads those sidecars back and turns
+//! them into decisions:
+//!
+//! - [`report`] renders a hot-span table (sorted by self-time, or by Newton
+//!   iterations when the run was clock-gated) and folded flamegraph stacks;
+//! - [`diff`] compares two sidecars — work counters exactly, wall-clock
+//!   with a noise tolerance;
+//! - [`check`] gates a sidecar against checked-in `perf-budgets.json`
+//!   ceilings on the deterministic work counters.
+//!
+//! The design point carried through all three: **wall-clock is advisory,
+//! work counters are the contract.** With `PVTM_TELEMETRY_CLOCK=off` the
+//! counters are byte-identical run to run, so the budget ratchet is
+//! reliable on shared CI runners where timing is not.
+//!
+//! Everything here is pure string-in/string-out; the thin CLI in
+//! `main.rs` owns file I/O and exit codes, which keeps the golden-fixture
+//! tests hermetic.
+
+pub mod check;
+pub mod diff;
+pub mod report;
+pub mod sidecar;
+
+pub use check::{check, update_budgets, Budgets, CheckOutcome};
+pub use diff::{diff, DiffOutcome};
+pub use report::{folded_stacks, hot_span_table};
+pub use sidecar::{Sidecar, SidecarError, Span};

@@ -1,0 +1,176 @@
+//! `pvtm-trace` CLI — file I/O and exit codes over the library.
+//!
+//! ```text
+//! pvtm-trace report <sidecar.json> [--folded] [--top N]
+//! pvtm-trace diff   <old.json> <new.json> [--tolerance F]
+//! pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]
+//! ```
+//!
+//! Exit codes: 0 success, 1 gate failure (budget exceeded / work-counter
+//! regression), 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use pvtm_trace::{check, diff, folded_stacks, hot_span_table, update_budgets, Budgets, Sidecar};
+
+const USAGE: &str = "usage:
+  pvtm-trace report <sidecar.json> [--folded] [--top N]
+  pvtm-trace diff   <old.json> <new.json> [--tolerance F]
+  pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]";
+
+const EXIT_GATE: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pvtm-trace: {msg}\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn read_sidecar(path: &str) -> Result<Sidecar, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Sidecar::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage("missing subcommand");
+    };
+    match cmd.as_str() {
+        "report" => cmd_report(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        other => usage(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut folded = false;
+    let mut top = 30usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--folded" => folded = true,
+            "--top" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => top = n,
+                _ => return usage("--top needs an integer"),
+            },
+            _ if path.is_none() => path = Some(a.clone()),
+            _ => return usage("report takes one sidecar"),
+        }
+    }
+    let Some(path) = path else {
+        return usage("report needs a sidecar path");
+    };
+    let sc = match read_sidecar(&path) {
+        Ok(sc) => sc,
+        Err(e) => return usage(&e),
+    };
+    if folded {
+        print!("{}", folded_stacks(&sc));
+    } else {
+        print!("{}", hot_span_table(&sc, top));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.2f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().map(|s| s.parse()) {
+                Some(Ok(f)) => tolerance = f,
+                _ => return usage("--tolerance needs a number"),
+            },
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage("diff needs exactly two sidecars");
+    };
+    let (old, new) = match (read_sidecar(old_path), read_sidecar(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return usage(&e),
+    };
+    let out = diff(&old, &new, tolerance);
+    print!("{}", out.text);
+    if out.failed() {
+        eprintln!(
+            "pvtm-trace diff: FAIL — {} work-counter regression(s)",
+            out.regressions
+        );
+        ExitCode::from(EXIT_GATE)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut update = false;
+    let mut paths = Vec::new();
+    for a in args {
+        if a == "--update-budgets" {
+            update = true;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [budget_path, sidecar_paths @ ..] = paths.as_slice() else {
+        return usage("check needs a budgets file");
+    };
+    if sidecar_paths.is_empty() {
+        return usage("check needs at least one sidecar");
+    }
+    // A missing budgets file is fine with --update-budgets (first ratchet).
+    let budgets = match std::fs::read_to_string(budget_path) {
+        Ok(text) => match Budgets::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return usage(&format!("{budget_path}: {e}")),
+        },
+        Err(e) if update => {
+            eprintln!("pvtm-trace check: starting fresh budgets ({budget_path}: {e})");
+            Budgets::default()
+        }
+        Err(e) => return usage(&format!("cannot read {budget_path}: {e}")),
+    };
+    let mut sidecars = Vec::new();
+    for p in sidecar_paths {
+        match read_sidecar(p) {
+            Ok(sc) => sidecars.push(sc),
+            Err(e) => return usage(&e),
+        }
+    }
+
+    if update {
+        let next = update_budgets(&budgets, &sidecars);
+        if let Err(e) = std::fs::write(budget_path, next.to_json_pretty()) {
+            return usage(&format!("cannot write {budget_path}: {e}"));
+        }
+        println!(
+            "pvtm-trace check: recorded budgets for {} figure(s) in {budget_path}",
+            sidecars.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let out = check(&budgets, &sidecars);
+    print!("{}", out.text);
+    if out.failed() {
+        eprintln!("pvtm-trace check: FAIL — {} violation(s)", out.violations);
+        ExitCode::from(EXIT_GATE)
+    } else {
+        println!(
+            "pvtm-trace check: OK — {} figure(s) within budget{}",
+            sidecars.len(),
+            if out.slack_notes > 0 {
+                " (slack available; see notes)"
+            } else {
+                ""
+            }
+        );
+        ExitCode::SUCCESS
+    }
+}

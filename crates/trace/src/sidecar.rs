@@ -1,0 +1,249 @@
+//! Tolerant parser for `results/<id>.telemetry.json` sidecars.
+//!
+//! Tolerant means: a v1 sidecar (written before `schema_version` existed)
+//! parses fine — the version defaults to 1, per-span attribution fields
+//! default to "no children, no attributed solver work", and unknown
+//! members are ignored. Only a missing/foreign `schema` string or
+//! malformed JSON is an error, so `pvtm-trace diff` can always compare
+//! across the format boundary.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pvtm_telemetry::json::{self, Value};
+
+/// Sidecar rejection: either unparsable JSON or not a telemetry document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SidecarError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SidecarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SidecarError {}
+
+fn err(message: impl Into<String>) -> SidecarError {
+    SidecarError {
+        message: message.into(),
+    }
+}
+
+/// One span aggregate read back from a sidecar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// `/`-joined span path.
+    pub path: String,
+    /// Times entered.
+    pub count: u64,
+    /// Total nanoseconds (0 when the producer's clock was gated off).
+    pub total_ns: u64,
+    /// Self nanoseconds (total minus child time; defaults to `total_ns`
+    /// for v1 sidecars, which had no child attribution).
+    pub self_ns: u64,
+    /// DC solves attributed to this span (innermost-span attribution).
+    pub solves: u64,
+    /// Newton iterations attributed to this span.
+    pub newton_iterations: u64,
+    /// LU factorizations attributed to this span.
+    pub lu_factorizations: u64,
+    /// Cold solves attributed to this span.
+    pub cold_solves: u64,
+}
+
+/// A parsed telemetry sidecar — just the pieces the consumers need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sidecar {
+    /// Figure id the sidecar was written for.
+    pub id: String,
+    /// Producer mode string (`"full"`, `"summary"`, ...).
+    pub mode: String,
+    /// Whether span durations came from a real clock. When false, every
+    /// `*_ns` field is deterministically zero and timing output is
+    /// meaningless — consumers fall back to work counters.
+    pub clock: bool,
+    /// Sidecar schema version; 1 when the field is absent.
+    pub schema_version: u64,
+    /// Global solver work counters by field name (integers only —
+    /// `warm_hit_rate` is derived and excluded).
+    pub solver: BTreeMap<String, u64>,
+    /// Named event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Span aggregates in sidecar order (path order, as written).
+    pub spans: Vec<Span>,
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+impl Sidecar {
+    /// Parses sidecar text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document whose `schema` member is not
+    /// a `pvtm-telemetry/<n>` string.
+    pub fn parse(text: &str) -> Result<Sidecar, SidecarError> {
+        let doc = json::parse(text).map_err(|e| err(format!("malformed sidecar JSON: {e}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("not a telemetry sidecar: missing \"schema\" string"))?;
+        if !schema.starts_with("pvtm-telemetry/") {
+            return Err(err(format!(
+                "not a telemetry sidecar: schema {schema:?} is not pvtm-telemetry/<n>"
+            )));
+        }
+        let schema_version = doc
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .unwrap_or(1);
+
+        let mut solver = BTreeMap::new();
+        if let Some(Value::Obj(members)) = doc.get("solver") {
+            for (k, v) in members {
+                // warm_hit_rate is a derived float; everything else in the
+                // solver section is an integer work counter.
+                if let Some(n) = v.as_u64() {
+                    solver.insert(k.clone(), n);
+                }
+            }
+        }
+
+        let mut counters = BTreeMap::new();
+        if let Some(Value::Obj(members)) = doc.get("counters") {
+            for (k, v) in members {
+                if let Some(n) = v.as_u64() {
+                    counters.insert(k.clone(), n);
+                }
+            }
+        }
+
+        let spans = doc
+            .get("spans")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|s| {
+                let path = s.get("path")?.as_str()?.to_string();
+                let total_ns = get_u64(s, "total_ns");
+                Some(Span {
+                    path,
+                    count: get_u64(s, "count"),
+                    total_ns,
+                    // v1 sidecars carry no attribution: all time is self.
+                    self_ns: s.get("self_ns").and_then(Value::as_u64).unwrap_or(total_ns),
+                    solves: get_u64(s, "solves"),
+                    newton_iterations: get_u64(s, "newton_iterations"),
+                    lu_factorizations: get_u64(s, "lu_factorizations"),
+                    cold_solves: get_u64(s, "cold_solves"),
+                })
+            })
+            .collect();
+
+        Ok(Sidecar {
+            id: doc
+                .get("id")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            mode: doc
+                .get("mode")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            clock: matches!(doc.get("clock"), Some(Value::Bool(true)) | None),
+            schema_version,
+            solver,
+            counters,
+            spans,
+        })
+    }
+
+    /// A solver work counter by sidecar field name (0 when absent).
+    pub fn solver_counter(&self, name: &str) -> u64 {
+        self.solver.get(name).copied().unwrap_or(0)
+    }
+
+    /// Looks up a budget-metric value. Metric names are namespaced:
+    /// `solver.<field>` reads the global solver section,
+    /// `counter.<name>` reads a named event counter.
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        if let Some(field) = name.strip_prefix("solver.") {
+            self.solver.get(field).copied()
+        } else if let Some(counter) = name.strip_prefix("counter.") {
+            self.counters.get(counter).copied()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2_doc() -> String {
+        r#"{
+          "schema": "pvtm-telemetry/2",
+          "schema_version": 2,
+          "id": "figX",
+          "mode": "full",
+          "clock": false,
+          "solver": {"solves": 10, "newton_iterations": 31, "warm_hit_rate": 0.9},
+          "counters": {"mc.samples": 4096},
+          "spans": [
+            {"path": "figX", "count": 1, "total_ns": 100, "self_ns": 40, "solves": 2},
+            {"path": "figX/mc.chunk", "count": 3, "total_ns": 60, "self_ns": 60, "solves": 8}
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_v2_sidecar() {
+        let s = Sidecar::parse(&v2_doc()).unwrap();
+        assert_eq!(s.id, "figX");
+        assert_eq!(s.schema_version, 2);
+        assert!(!s.clock);
+        assert_eq!(s.solver_counter("solves"), 10);
+        // warm_hit_rate is a float and must not land in the counter map.
+        assert!(!s.solver.contains_key("warm_hit_rate"));
+        assert_eq!(s.metric("solver.newton_iterations"), Some(31));
+        assert_eq!(s.metric("counter.mc.samples"), Some(4096));
+        assert_eq!(s.metric("bogus.name"), None);
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[0].self_ns, 40);
+    }
+
+    #[test]
+    fn v1_sidecar_defaults_are_tolerant() {
+        let text = r#"{
+          "schema": "pvtm-telemetry/1",
+          "id": "old",
+          "mode": "full",
+          "clock": true,
+          "solver": {"solves": 5},
+          "spans": [{"path": "old", "count": 1, "total_ns": 70}]
+        }"#;
+        let s = Sidecar::parse(text).unwrap();
+        assert_eq!(s.schema_version, 1, "missing schema_version reads as v1");
+        assert!(s.clock);
+        // No self_ns in v1: all of the span's time counts as self.
+        assert_eq!(s.spans[0].self_ns, 70);
+        assert_eq!(s.spans[0].newton_iterations, 0);
+        assert!(s.counters.is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(Sidecar::parse("{not json").is_err());
+        assert!(Sidecar::parse("{}").is_err());
+        assert!(Sidecar::parse(r#"{"schema": "other/1"}"#).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Golden-fixture tests: checked-in sidecars run through report/diff/check
+//! and must reproduce the checked-in output byte-for-byte. The fixtures
+//! are clock-gated (`"clock": false`) sidecars, exactly what the CI
+//! perf-budget job compares, so these goldens double as format contracts.
+//!
+//! To regenerate after an intentional output change:
+//! `cargo test -p pvtm-trace --test golden -- --ignored bless`
+
+use pvtm_trace::{check, diff, folded_stacks, hot_span_table, update_budgets, Budgets, Sidecar};
+
+const BASE: &str = include_str!("fixtures/fig_quick.telemetry.json");
+const REGRESSED: &str = include_str!("fixtures/fig_quick_regressed.telemetry.json");
+const BUDGETS: &str = include_str!("fixtures/perf-budgets.json");
+
+fn base() -> Sidecar {
+    Sidecar::parse(BASE).expect("base fixture parses")
+}
+
+fn regressed() -> Sidecar {
+    Sidecar::parse(REGRESSED).expect("regressed fixture parses")
+}
+
+fn budgets() -> Budgets {
+    Budgets::parse(BUDGETS).expect("budgets fixture parses")
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} — run the bless test",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "output drifted from golden {name}; if intentional, re-bless with \
+         `cargo test -p pvtm-trace --test golden -- --ignored bless`"
+    );
+}
+
+#[test]
+fn report_table_matches_golden() {
+    assert_golden("report.golden.txt", &hot_span_table(&base(), 30));
+}
+
+#[test]
+fn report_folded_matches_golden() {
+    assert_golden("folded.golden.txt", &folded_stacks(&base()));
+}
+
+#[test]
+fn diff_matches_golden_and_fails_on_regression() {
+    let out = diff(&base(), &regressed(), 0.2);
+    assert!(out.failed(), "more Newton work must fail the diff");
+    assert_golden("diff.golden.txt", &out.text);
+}
+
+#[test]
+fn diff_of_identical_sidecars_passes() {
+    let out = diff(&base(), &base(), 0.2);
+    assert!(!out.failed());
+    assert_eq!(out.counter_changes, 0);
+}
+
+#[test]
+fn check_passes_base_fixture_against_budgets() {
+    let out = check(&budgets(), &[base()]);
+    assert!(
+        !out.failed(),
+        "budgets must match the base fixture:\n{}",
+        out.text
+    );
+    assert_eq!(out.slack_notes, 0, "budgets are an exact ratchet");
+}
+
+#[test]
+fn check_fails_regressed_fixture_against_budgets() {
+    let out = check(&budgets(), &[regressed()]);
+    assert!(out.failed(), "inflated counters must violate the budget");
+    assert_golden("check-fail.golden.txt", &out.text);
+}
+
+#[test]
+fn budgets_fixture_is_the_update_fixpoint() {
+    // --update-budgets on the base sidecar must reproduce the checked-in
+    // budgets file exactly (same semantics as re-recording a baseline).
+    let next = update_budgets(&Budgets::default(), &[base()]);
+    assert_eq!(next.to_json_pretty(), BUDGETS);
+}
+
+/// Regenerates every golden from the current output. Run explicitly:
+/// `cargo test -p pvtm-trace --test golden -- --ignored bless`
+#[test]
+#[ignore = "writes the golden files; run explicitly to re-bless"]
+fn bless() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::write(dir.join("report.golden.txt"), hot_span_table(&base(), 30)).unwrap();
+    std::fs::write(dir.join("folded.golden.txt"), folded_stacks(&base())).unwrap();
+    std::fs::write(
+        dir.join("diff.golden.txt"),
+        diff(&base(), &regressed(), 0.2).text,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("check-fail.golden.txt"),
+        check(&budgets(), &[regressed()]).text,
+    )
+    .unwrap();
+}
