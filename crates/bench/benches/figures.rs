@@ -23,6 +23,9 @@ fn main() {
     // free argument as a substring filter.
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with("--"));
     let effort = effort_from_env();
+    // Deterministic fault injection (PVTM_FAULT_SEED / PVTM_FAULT_RATE);
+    // off unless both are set.
+    pvtm_telemetry::fault::init_from_env();
     let mut rep = Reporter::new();
     println!(
         "== pvtm figure reproduction (effort: {effort:?}, telemetry: {}) ==\n",

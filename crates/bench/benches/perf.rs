@@ -140,7 +140,9 @@ fn bench_bist(c: &mut Criterion) {
         b.iter_batched(
             || MemoryModel::new(256, 64),
             |mut mem| {
-                let report = BistController::new().run(&MarchTest::march_c_minus(), &mut mem);
+                let report = BistController::new()
+                    .run(&MarchTest::march_c_minus(), &mut mem)
+                    .expect("march columns in range");
                 black_box(report.faulty_columns())
             },
             BatchSize::SmallInput,

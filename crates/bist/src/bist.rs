@@ -2,9 +2,38 @@
 //! bookkeeping (Fig. 7's "register bank and counter").
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 use crate::march::{MarchResult, MarchTest};
 use crate::memory::MemoryModel;
+
+/// Structural errors of a BIST run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BistError {
+    /// A March failure named a column outside the register bank: the march
+    /// result and the memory organization disagree about the array shape —
+    /// a wiring bug in the caller, reported as a structured error instead
+    /// of an index panic deep inside the fold.
+    ColumnOutOfRange {
+        /// Column the failure named.
+        col: usize,
+        /// Number of columns in the register bank.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for BistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BistError::ColumnOutOfRange { col, cols } => write!(
+                f,
+                "march failure names column {col} but the register bank has {cols} columns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BistError {}
 
 /// The controller. Stateless between runs; each run produces a
 /// [`BistReport`].
@@ -20,16 +49,36 @@ impl BistController {
     /// Runs a March test and folds the failures into per-column flags,
     /// mirroring the hardware: one register bit per column, set when any
     /// row of that column misbehaves, plus a counter of set registers.
-    pub fn run(&self, test: &MarchTest, memory: &mut MemoryModel) -> BistReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BistError::ColumnOutOfRange`] when a march failure names
+    /// a column the array does not have — impossible when `test` ran on
+    /// `memory` itself, but checked rather than assumed.
+    pub fn run(&self, test: &MarchTest, memory: &mut MemoryModel) -> Result<BistReport, BistError> {
+        let cols = memory.cols();
         let result = test.run(memory);
-        let mut column_flags = vec![false; memory.cols()];
+        self.fold(result, cols)
+    }
+
+    /// Folds an already-computed March result into the per-column register
+    /// bank of an array with `cols` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BistError::ColumnOutOfRange`] when a failure's column
+    /// index does not fit the register bank.
+    pub fn fold(&self, result: MarchResult, cols: usize) -> Result<BistReport, BistError> {
+        let mut column_flags = vec![false; cols];
         for f in &result.failures {
-            column_flags[f.col] = true;
+            *column_flags
+                .get_mut(f.col)
+                .ok_or(BistError::ColumnOutOfRange { col: f.col, cols })? = true;
         }
-        BistReport {
+        Ok(BistReport {
             column_flags,
             result,
-        }
+        })
     }
 }
 
@@ -81,7 +130,9 @@ mod tests {
     #[test]
     fn clean_array_passes() {
         let mut m = MemoryModel::new(8, 8);
-        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        let report = BistController::new()
+            .run(&MarchTest::march_c_minus(), &mut m)
+            .unwrap();
         assert!(report.passed());
         assert_eq!(report.faulty_columns(), 0);
         assert!(report.repairable_with(0));
@@ -97,7 +148,9 @@ mod tests {
                 kind: FaultKind::StuckAt(true),
             });
         }
-        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        let report = BistController::new()
+            .run(&MarchTest::march_c_minus(), &mut m)
+            .unwrap();
         assert_eq!(report.faulty_columns(), 1);
         assert!(report.column_flag(2));
         assert!(!report.column_flag(3));
@@ -115,7 +168,9 @@ mod tests {
             // StuckAt(false) is only visible when a 1 is expected; ensure
             // the test toggles data — March C- does.
         }
-        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut m);
+        let report = BistController::new()
+            .run(&MarchTest::march_c_minus(), &mut m)
+            .unwrap();
         assert_eq!(report.faulty_columns(), 3);
         assert!(!report.repairable_with(2));
         assert!(report.repairable_with(3));
@@ -129,8 +184,27 @@ mod tests {
             col: 1,
             kind: FaultKind::StuckAt(true),
         });
-        let report = BistController::new().run(&MarchTest::mats_plus(), &mut m);
+        let report = BistController::new()
+            .run(&MarchTest::mats_plus(), &mut m)
+            .unwrap();
         assert!(!report.march_result().passed());
         assert!(report.march_result().operations > 0);
+    }
+
+    #[test]
+    fn out_of_range_column_is_a_structured_error() {
+        use crate::march::{MarchFailure, MarchResult};
+        let result = MarchResult {
+            failures: vec![MarchFailure {
+                row: 0,
+                col: 99,
+                element: 0,
+                op: 0,
+            }],
+            operations: 1,
+        };
+        let err = BistController::new().fold(result, 8).unwrap_err();
+        assert_eq!(err, BistError::ColumnOutOfRange { col: 99, cols: 8 });
+        assert!(err.to_string().contains("column 99"));
     }
 }

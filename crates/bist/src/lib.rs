@@ -26,7 +26,9 @@
 //!
 //! let mut mem = MemoryModel::new(8, 8);
 //! mem.inject(Fault { row: 3, col: 5, kind: FaultKind::StuckAt(false) });
-//! let report = BistController::new().run(&MarchTest::march_c_minus(), &mut mem);
+//! let report = BistController::new()
+//!     .run(&MarchTest::march_c_minus(), &mut mem)
+//!     .expect("march ran on this memory, so every failure column is in range");
 //! assert_eq!(report.faulty_columns(), 1);
 //! assert!(report.column_flag(5));
 //! ```
@@ -36,7 +38,7 @@ pub mod dac;
 pub mod march;
 pub mod memory;
 
-pub use bist::{BistController, BistReport};
+pub use bist::{BistController, BistError, BistReport};
 pub use dac::Dac;
 pub use march::{MarchElement, MarchTest, Op, Order};
 pub use memory::{Fault, FaultKind, MemoryModel};

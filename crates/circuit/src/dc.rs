@@ -96,6 +96,13 @@ pub struct SolverStats {
     /// Source-ramp steps run (each is a full Gmin continuation at one
     /// source scale).
     pub ramp_steps: u64,
+    /// Solves that exhausted the standard cold ladder and entered the
+    /// rescue ladder ([`crate::rescue`]).
+    pub rescue_attempts: u64,
+    /// Rescue-ladder entries that ultimately converged.
+    pub rescue_hits: u64,
+    /// Individual rescue rungs run (≤ 3 per attempt).
+    pub rescue_rungs: u64,
 }
 
 impl SolverStats {
@@ -120,6 +127,9 @@ impl SolverStats {
         self.lu_factorizations += other.lu_factorizations;
         self.gmin_steps += other.gmin_steps;
         self.ramp_steps += other.ramp_steps;
+        self.rescue_attempts += other.rescue_attempts;
+        self.rescue_hits += other.rescue_hits;
+        self.rescue_rungs += other.rescue_rungs;
     }
 
     /// The increments accumulated between a `before` snapshot and `self`,
@@ -143,6 +153,9 @@ impl SolverStats {
             source_ramps: self.source_ramps - before.source_ramps,
             gmin_steps: self.gmin_steps - before.gmin_steps,
             ramp_steps: self.ramp_steps - before.ramp_steps,
+            rescue_attempts: self.rescue_attempts - before.rescue_attempts,
+            rescue_hits: self.rescue_hits - before.rescue_hits,
+            rescue_rungs: self.rescue_rungs - before.rescue_rungs,
         }
     }
 }
@@ -548,6 +561,18 @@ pub fn solve_with(
     opts: &DcOptions,
     ws: &mut DcWorkspace,
 ) -> Result<DcSolution, CircuitError> {
+    pvtm_telemetry::fault::next_solve();
+    solve_with_unarmed(netlist, opts, ws)
+}
+
+/// [`solve_with`] without marking a new logical solve for fault injection
+/// — the warm-start fallback path re-enters here so one logical solve is
+/// armed exactly once.
+fn solve_with_unarmed(
+    netlist: &Netlist,
+    opts: &DcOptions,
+    ws: &mut DcWorkspace,
+) -> Result<DcSolution, CircuitError> {
     let sys = System::new(netlist);
     if sys.num_unknowns == 0 {
         return Err(CircuitError::EmptyCircuit);
@@ -559,16 +584,27 @@ pub fn solve_with(
     Ok(DcSolution::new(x, sys.num_free_nodes, sys.branch_names()))
 }
 
+/// The failure an injected strategy reports in place of running (the
+/// infinite residual marks it as synthetic in error messages).
+pub(crate) fn injected_failure() -> CircuitError {
+    CircuitError::NoConvergence {
+        residual: f64::INFINITY,
+        iterations: 0,
+    }
+}
+
 /// The full cold-start strategy on a pre-initialized state: Gmin
-/// continuation, then a heavily damped retry, then a source ramp.
+/// continuation, then a heavily damped retry, then a source ramp, and —
+/// only once all three have failed — the [`crate::rescue`] ladder.
 pub(crate) fn cold_solve(
     sys: &System<'_>,
     x: &mut [f64],
     opts: &DcOptions,
     ws: &mut DcWorkspace,
 ) -> Result<(), CircuitError> {
+    use pvtm_telemetry::fault;
     ws.stats.cold_solves += 1;
-    if gmin_continuation(sys, x, opts, 1.0, ws).is_ok() {
+    if !fault::trip() && gmin_continuation(sys, x, opts, 1.0, ws).is_ok() {
         return Ok(());
     }
     // Heavily damped retry: small steps ride out fold regions where
@@ -580,13 +616,18 @@ pub(crate) fn cold_solve(
         ..opts.clone()
     };
     init_state(x, opts);
-    if gmin_continuation(sys, x, &damped, 1.0, ws).is_ok() {
+    if !fault::trip() && gmin_continuation(sys, x, &damped, 1.0, ws).is_ok() {
         return Ok(());
     }
     // Source-stepping fallback.
     ws.stats.source_ramps += 1;
     init_state(x, opts);
-    source_ramp(sys, x, &damped, ws)
+    if !fault::trip() && source_ramp(sys, x, &damped, ws).is_ok() {
+        return Ok(());
+    }
+    // Everything the standard ladder has failed: escalate to the rescue
+    // ladder before declaring the sample unsolvable.
+    crate::rescue::rescue(sys, x, opts, ws)
 }
 
 /// Solves starting from a previous solution's state (warm start).
@@ -623,16 +664,23 @@ pub fn solve_from_with(
 ) -> Result<DcSolution, CircuitError> {
     let sys = System::new(netlist);
     assert_eq!(state.len(), sys.num_unknowns, "warm-start state length");
+    pvtm_telemetry::fault::next_solve();
     let mut x = state.to_vec();
     ws.stats.warm_attempts += 1;
-    match sys.newton(&mut x, opts.gmin_final, 1.0, None, opts, ws) {
-        Ok(_) => {
+    let warm = if pvtm_telemetry::fault::trip() {
+        Err(injected_failure())
+    } else {
+        sys.newton(&mut x, opts.gmin_final, 1.0, None, opts, ws)
+            .map(|_| ())
+    };
+    match warm {
+        Ok(()) => {
             ws.stats.warm_hits += 1;
             ws.stats.solves += 1;
             Ok(DcSolution::new(x, sys.num_free_nodes, sys.branch_names()))
         }
         // Warm start failed: fall back to the full strategy.
-        Err(_) => solve_with(netlist, opts, ws),
+        Err(_) => solve_with_unarmed(netlist, opts, ws),
     }
 }
 

@@ -36,6 +36,7 @@ pub mod dc;
 pub mod linalg;
 pub mod netlist;
 pub mod parser;
+pub(crate) mod rescue;
 pub mod template;
 pub mod transient;
 

@@ -92,6 +92,29 @@ pub enum CircuitError {
     UnknownSource(String),
     /// The netlist has no unknowns to solve for.
     EmptyCircuit,
+    /// A Monte-Carlo estimator quarantined more samples than the
+    /// documented `PVTM_MAX_QUARANTINE` threshold allows — the estimate's
+    /// bias bounds are too wide to stand in for a converged result.
+    QuarantineExceeded {
+        /// Unresolved (quarantined) samples.
+        quarantined: u64,
+        /// Total samples drawn.
+        total: u64,
+    },
+}
+
+impl CircuitError {
+    /// Stable machine-readable tag for this error, used to label
+    /// quarantined Monte-Carlo samples in the telemetry sidecar.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CircuitError::SingularMatrix { .. } => "singular_matrix",
+            CircuitError::NoConvergence { .. } => "no_convergence",
+            CircuitError::UnknownSource(_) => "unknown_source",
+            CircuitError::EmptyCircuit => "empty_circuit",
+            CircuitError::QuarantineExceeded { .. } => "quarantine_exceeded",
+        }
+    }
 }
 
 impl std::fmt::Display for CircuitError {
@@ -109,6 +132,11 @@ impl std::fmt::Display for CircuitError {
             ),
             CircuitError::UnknownSource(name) => write!(f, "unknown voltage source `{name}`"),
             CircuitError::EmptyCircuit => write!(f, "circuit has no unknowns"),
+            CircuitError::QuarantineExceeded { quarantined, total } => write!(
+                f,
+                "{quarantined} of {total} Monte-Carlo samples quarantined, above the \
+                 PVTM_MAX_QUARANTINE threshold"
+            ),
         }
     }
 }

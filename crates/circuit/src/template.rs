@@ -238,18 +238,20 @@ impl CircuitTemplate {
     fn solve_inner(&mut self) -> Result<(), CircuitError> {
         let sys = System::new(&self.netlist);
         debug_assert_eq!(sys.num_unknowns, self.num_unknowns);
+        pvtm_telemetry::fault::next_solve();
         if self.warm_start && self.have_warm {
             self.ws.stats.warm_attempts += 1;
-            if sys
-                .newton(
-                    &mut self.state,
-                    self.opts.gmin_final,
-                    1.0,
-                    None,
-                    &self.opts,
-                    &mut self.ws,
-                )
-                .is_ok()
+            if !pvtm_telemetry::fault::trip()
+                && sys
+                    .newton(
+                        &mut self.state,
+                        self.opts.gmin_final,
+                        1.0,
+                        None,
+                        &self.opts,
+                        &mut self.ws,
+                    )
+                    .is_ok()
             {
                 self.ws.stats.warm_hits += 1;
                 self.ws.stats.solves += 1;

@@ -267,7 +267,9 @@ impl AsbEngine {
         for code in 0..self.cfg.dac.codes() {
             let vsb = self.cfg.dac.voltage(code);
             mem.set_vsb(vsb);
-            let report = bist.run(&self.cfg.march, mem);
+            let report = bist
+                .run(&self.cfg.march, mem)
+                .expect("the march ran on this memory, so failure columns are in range");
             let faulty = report.faulty_columns();
             steps.push(AsbStep {
                 code,
@@ -301,6 +303,7 @@ impl AsbEngine {
         mem.set_vsb(vsb);
         BistController::new()
             .run(&self.cfg.march, mem)
+            .expect("the march ran on this memory, so failure columns are in range")
             .faulty_columns()
     }
 

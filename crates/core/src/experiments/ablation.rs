@@ -78,7 +78,7 @@ pub fn ablation_monitor(effort: Effort) -> Result<MonitorAblation, CircuitError>
     let hold_vsb = memory.config().hold_vsb;
     let mut p_cell = vec![vec![0.0f64; corners.len()]; 3];
     let ctx = pvtm_telemetry::parallel_context();
-    let flat: Result<Vec<(usize, usize, f64)>, CircuitError> = (0..3)
+    let flat: Vec<(usize, usize, f64, bool)> = (0..3)
         .flat_map(|bi| (0..corners.len()).map(move |ci| (bi, ci)))
         .collect::<Vec<_>>()
         .par_iter()
@@ -87,12 +87,22 @@ pub fn ablation_monitor(effort: Effort) -> Result<MonitorAblation, CircuitError>
             |(_ctx, ev), &(bi, ci)| {
                 ev.invalidate_warm();
                 let cond = Conditions::standby(&tech, hold_vsb).with_body_bias(biases[bi]);
-                let p = fa.failure_probs_with(ev, corners[ci], &cond)?.overall();
-                Ok((bi, ci, p))
+                match fa.failure_probs_with(ev, corners[ci], &cond) {
+                    Ok(m) => (bi, ci, m.overall(), false),
+                    Err(e) => {
+                        // Pessimistic substitution: a corner whose solve
+                        // stays unresolved after the rescue ladder is
+                        // treated as certain failure and quarantined.
+                        super::quarantine_corner((bi * corners.len() + ci) as u64, corners[ci], &e);
+                        (bi, ci, 1.0, true)
+                    }
+                }
             },
         )
         .collect();
-    for (bi, ci, p) in flat? {
+    let quarantined = flat.iter().filter(|(_, _, _, q)| *q).count() as u64;
+    super::check_quarantine_rate(quarantined, flat.len() as u64)?;
+    for (bi, ci, p, _) in flat {
         p_cell[bi][ci] = p;
     }
     // Die leakage vs corner (for the monitor input).
@@ -416,7 +426,9 @@ pub fn ablation_march(effort: Effort) -> MarchAblation {
                     mem.inject(Fault { row, col, kind });
                 }
                 injected += sites.len();
-                let report = BistController::new().run(test, &mut mem);
+                let report = BistController::new()
+                    .run(test, &mut mem)
+                    .expect("the march ran on this memory, so failure columns are in range");
                 let caught: std::collections::BTreeSet<(usize, usize)> = report
                     .march_result()
                     .failures

@@ -11,7 +11,7 @@ use pvtm_sram::{
 };
 use pvtm_stats::Histogram;
 
-use super::{fmt_p, Effort};
+use super::{check_quarantine_rate, fmt_p, quarantine_corner, Effort};
 use crate::interp::linspace;
 use crate::self_repair::{Policy, SelfRepairConfig, SelfRepairingMemory};
 
@@ -87,28 +87,52 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
     let cond = Conditions::standby(&tech, HOLD_VSB);
     let corners = linspace(-0.15, 0.15, effort.corners.max(5));
     let ctx = pvtm_telemetry::parallel_context();
-    let rows: Result<Vec<Fig2aRow>, CircuitError> = corners
+    let results: Vec<(Fig2aRow, bool)> = corners
         .par_iter()
+        .enumerate()
         .map_init(
             || (pvtm_telemetry::adopt(&ctx), fa.evaluator()),
-            |(_ctx, ev), &vt_inter| {
+            |(_ctx, ev), (ci, &vt_inter)| {
                 // Cold-start each corner: per-corner solver work must not
                 // depend on which corners this worker processed before
                 // (keeps telemetry work counters schedule-independent).
                 ev.invalidate_warm();
-                let p = fa.failure_probs_with(ev, vt_inter, &cond)?;
-                Ok(Fig2aRow {
-                    vt_inter,
-                    read: p.read,
-                    write: p.write,
-                    access: p.access,
-                    hold: p.hold,
-                    overall: p.overall(),
-                })
+                match fa.failure_probs_with(ev, vt_inter, &cond) {
+                    Ok(p) => (
+                        Fig2aRow {
+                            vt_inter,
+                            read: p.read,
+                            write: p.write,
+                            access: p.access,
+                            hold: p.hold,
+                            overall: p.overall(),
+                        },
+                        false,
+                    ),
+                    Err(e) => {
+                        // An unsolvable corner is quarantined rather than
+                        // aborting the sweep: record it and report the
+                        // pessimistic bound (every mechanism failing).
+                        quarantine_corner(ci as u64, vt_inter, &e);
+                        (
+                            Fig2aRow {
+                                vt_inter,
+                                read: 1.0,
+                                write: 1.0,
+                                access: 1.0,
+                                hold: 1.0,
+                                overall: 1.0,
+                            },
+                            true,
+                        )
+                    }
+                }
             },
         )
         .collect();
-    let rows = rows?;
+    let quarantined = results.iter().filter(|(_, q)| *q).count() as u64;
+    let rows: Vec<Fig2aRow> = results.into_iter().map(|(r, _)| r).collect();
+    check_quarantine_rate(quarantined, rows.len() as u64)?;
     // Cross-check the linearization against the exact-margin Monte-Carlo
     // estimator at the worst corner, leaving its chunk-level convergence
     // trace in the telemetry report under "fig2a.mc".

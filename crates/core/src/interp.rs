@@ -39,10 +39,33 @@ pub fn lin_interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 /// Log-domain interpolation for probabilities: interpolates `ln(y)` so
 /// curves spanning many decades (failure probabilities) stay smooth.
 /// Zero entries are floored at 1e-300.
+///
+/// Allocation-free: only the (at most two) entries bracketing `x` are
+/// taken to log space, instead of materializing the whole table. This
+/// sits on the per-die hot path of the yield integrations, which call it
+/// thousands of times over the same small corner tables.
+///
+/// # Panics
+///
+/// Panics if the table is empty or lengths differ.
 pub fn log_interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert!(!xs.is_empty(), "empty interpolation table");
     assert_eq!(xs.len(), ys.len(), "table length mismatch");
-    let lys: Vec<f64> = ys.iter().map(|&y| y.max(1e-300).ln()).collect();
-    lin_interp(xs, &lys, x).exp()
+    debug_assert!(
+        xs.windows(2).all(|w| w[1] > w[0]),
+        "xs must be strictly increasing"
+    );
+    let ly = |i: usize| ys[i].max(1e-300).ln();
+    if x <= xs[0] {
+        return ly(0).exp();
+    }
+    if x >= xs[xs.len() - 1] {
+        return ly(ys.len() - 1).exp();
+    }
+    let i = xs.partition_point(|&v| v < x).max(1);
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ly(i - 1), ly(i));
+    (y0 + (y1 - y0) * (x - x0) / (x1 - x0)).exp()
 }
 
 /// Uniformly spaced grid over `[lo, hi]` inclusive.
@@ -87,6 +110,24 @@ mod tests {
         let ys = [0.0, 1.0];
         let v = log_interp(&xs, &ys, 0.5);
         assert!((0.0..1e-100).contains(&v));
+    }
+
+    #[test]
+    fn log_interp_matches_dense_log_table() {
+        // The no-alloc path must reproduce interpolating a fully
+        // log-transformed table bit for bit, clamps included.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1e-8, 1e-5, 3e-3, 0.9];
+        let lys: Vec<f64> = ys.iter().map(|&y: &f64| y.max(1e-300).ln()).collect();
+        for x in [-1.0, 0.0, 0.3, 1.0, 1.7, 2.99, 3.0, 7.0] {
+            assert_eq!(log_interp(&xs, &ys, x), lin_interp(&xs, &lys, x).exp());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interpolation table")]
+    fn log_interp_rejects_empty_table() {
+        let _ = log_interp(&[], &[], 0.5);
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use adaptive::{AsbConfig, AsbEngine, AsbOutcome, DieEvaluation, StandbyLeaka
 pub use body_bias::BodyBiasGenerator;
 pub use monitor::{LeakageBinner, LeakageMonitor, VtRegion};
 pub use self_repair::{CornerResponse, Policy, SelfRepairConfig, SelfRepairingMemory};
-pub use source_bias::{HoldModelGrid, SourceBiasAnalyzer};
+pub use source_bias::{HoldModelGrid, MaxVsbOutcome, SourceBiasAnalyzer};

@@ -18,6 +18,21 @@ pub struct SourceBiasAnalyzer {
     vsb_cap: f64,
 }
 
+/// Result of a quarantine-aware [`SourceBiasAnalyzer::max_vsb_quarantined`]
+/// search: the bias ceiling plus the evaluation/quarantine accounting the
+/// caller folds into its experiment-level `PVTM_MAX_QUARANTINE` check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxVsbOutcome {
+    /// The largest admissible source bias \[V\]. Pessimistic where
+    /// evaluations were quarantined: an unresolved point is treated as
+    /// violating the target, so the ceiling can only shrink.
+    pub vsb: f64,
+    /// Hold-failure evaluations attempted during the search.
+    pub evals: u64,
+    /// Evaluations whose solve failed even after the rescue ladder.
+    pub quarantined: u64,
+}
+
 impl SourceBiasAnalyzer {
     /// Creates an analyzer. The search cap defaults to 0.75·VDD (beyond
     /// that the cell's retention circuit leaves the solver's comfortable
@@ -84,6 +99,26 @@ impl SourceBiasAnalyzer {
     ///
     /// Propagates DC-solver failures.
     pub fn max_vsb(&self, corner: f64, p_target: f64) -> Result<f64, CircuitError> {
+        let out = self.max_vsb_quarantined(corner, p_target);
+        if out.quarantined as f64 / out.evals.max(1) as f64
+            > pvtm_telemetry::fault::max_quarantine()
+        {
+            return Err(CircuitError::QuarantineExceeded {
+                quarantined: out.quarantined,
+                total: out.evals,
+            });
+        }
+        Ok(out.vsb)
+    }
+
+    /// Quarantine-aware variant of [`Self::max_vsb`]: never fails.
+    /// Each hold-failure evaluation runs under a deterministic fault
+    /// substream keyed off `(corner, eval index)`; an evaluation whose
+    /// solve is unresolved even after the rescue ladder is recorded in the
+    /// telemetry quarantine sidecar and treated pessimistically — as if it
+    /// violated the target — so the reported ceiling can only shrink, never
+    /// grow, under quarantine.
+    pub fn max_vsb_quarantined(&self, corner: f64, p_target: f64) -> MaxVsbOutcome {
         assert!(
             p_target > 0.0 && p_target < 1.0,
             "invalid target probability {p_target}"
@@ -95,36 +130,90 @@ impl SourceBiasAnalyzer {
         // One evaluator for the whole scan + bisection: adjacent vsb points
         // differ by millivolts, so nearly every solve warm-starts.
         let mut ev = self.fa.evaluator();
+        let mut eval_idx: u64 = 0;
+        let mut quarantined: u64 = 0;
+        let mut probe = |vsb: f64| -> Option<f64> {
+            let idx = eval_idx;
+            eval_idx += 1;
+            self.hold_failure_prob_quarantined(&mut ev, corner, vsb, idx, &mut quarantined)
+        };
         let mut lo = 0.0f64;
         let mut hi = None;
-        let mut p_lo = self.hold_failure_prob_with(&mut ev, corner, 0.0)?;
-        if p_lo > p_target {
-            return Ok(0.0);
+        match probe(0.0) {
+            // An unresolved zero-bias anchor means nothing can be proven:
+            // the only safe ceiling is no bias at all. Same for an anchor
+            // already violating the target.
+            Some(p0) if p0 <= p_target => {}
+            _ => {
+                return MaxVsbOutcome {
+                    vsb: 0.0,
+                    evals: eval_idx,
+                    quarantined,
+                }
+            }
         }
         for k in 1..=STEPS {
             let v = self.vsb_cap * k as f64 / STEPS as f64;
-            let p = self.hold_failure_prob_with(&mut ev, corner, v)?;
-            if p > p_target {
-                hi = Some(v);
-                break;
+            // An unresolved scan point is treated as above target: the
+            // ceiling cannot be proven past it.
+            match probe(v) {
+                Some(p) if p <= p_target => lo = v,
+                _ => {
+                    hi = Some(v);
+                    break;
+                }
             }
-            lo = v;
-            p_lo = p;
         }
-        let _ = p_lo;
         let Some(mut hi) = hi else {
-            return Ok(self.vsb_cap);
+            return MaxVsbOutcome {
+                vsb: self.vsb_cap,
+                evals: eval_idx,
+                quarantined,
+            };
         };
-        // Refine by bisection.
+        // Refine by bisection; unresolved midpoints shrink from above.
         for _ in 0..18 {
             let mid = 0.5 * (lo + hi);
-            if self.hold_failure_prob_with(&mut ev, corner, mid)? > p_target {
-                hi = mid;
-            } else {
-                lo = mid;
+            match probe(mid) {
+                Some(p) if p <= p_target => lo = mid,
+                _ => hi = mid,
             }
         }
-        Ok(0.5 * (lo + hi))
+        MaxVsbOutcome {
+            vsb: 0.5 * (lo + hi),
+            evals: eval_idx,
+            quarantined,
+        }
+    }
+
+    /// One quarantine-aware hold-failure evaluation: arms a deterministic
+    /// fault substream keyed off `(corner, eval index)` and, when the solve
+    /// stays unresolved after the rescue ladder, records the quarantine and
+    /// returns `None` so the caller takes the pessimistic branch.
+    fn hold_failure_prob_quarantined(
+        &self,
+        ev: &mut pvtm_sram::CellEvaluator,
+        corner: f64,
+        vsb: f64,
+        eval_idx: u64,
+        quarantined: &mut u64,
+    ) -> Option<f64> {
+        let stream = corner.to_bits().rotate_left(17) ^ eval_idx;
+        let _s = pvtm_telemetry::fault::begin_stream(stream);
+        match self.hold_failure_prob_with(ev, corner, vsb) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                *quarantined += 1;
+                pvtm_telemetry::counter_add("eval.quarantined", 1);
+                pvtm_telemetry::record_quarantine(pvtm_telemetry::QuarantineRecord {
+                    seed: 0,
+                    stream,
+                    corner,
+                    kind: e.kind(),
+                });
+                None
+            }
+        }
     }
 
     /// The design-time `VSB(opt)`: the maximum bias at the *nominal*

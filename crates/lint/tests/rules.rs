@@ -111,7 +111,7 @@ fn panic_policy_fires_on_fixture() {
         ],
     );
     // Outside the policy crates the same file is quiet.
-    assert!(lint_source("crates/bist/src/seeded.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/seeded.rs", src).is_empty());
 }
 
 #[test]

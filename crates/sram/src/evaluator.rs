@@ -569,7 +569,16 @@ impl CellEvaluator {
         let _span = pvtm_telemetry::span("eval.hold");
         let droop = match self.hold_state(cond) {
             Ok((vl, _)) => (cond.vdd - vl).max(1e-9),
-            Err(CircuitError::NoConvergence { .. }) => cond.vdd - cond.vsb,
+            Err(CircuitError::NoConvergence { .. }) => {
+                // The solve has already been through the full rescue
+                // ladder by the time this arm is reached; mapping the
+                // exhausted ladder to a full-droop retention collapse is
+                // the reference behavior, but it must never happen
+                // silently — the floor masks the solve failure and biases
+                // the hold tail, so every occurrence is counted.
+                pvtm_telemetry::counter_add("eval.hold_droop_floor", 1);
+                cond.vdd - cond.vsb
+            }
             Err(e) => return Err(e),
         };
         let trip = self.v_trip_hold(cond)?;

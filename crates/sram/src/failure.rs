@@ -8,7 +8,7 @@
 
 use pvtm_circuit::CircuitError;
 use pvtm_stats::special::norm_cdf;
-use pvtm_stats::{ImportanceSampler, McEstimate};
+use pvtm_stats::{ImportanceSampler, McEstimate, QuarantinedEstimate, SampleOutcome};
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{AnalysisConfig, CellAnalysis, Margins};
@@ -506,12 +506,18 @@ impl FailureAnalyzer {
     ///
     /// The sampling mean is shifted onto the most-likely failure boundary
     /// found by the linearization. Cells whose circuit solution does not
-    /// converge are conservatively counted as failures (they are extreme
-    /// outliers by construction).
+    /// converge — after the solver's full rescue ladder — are quarantined
+    /// rather than aborting the estimation; the returned estimate is the
+    /// conservative fail bound (quarantined samples counted as failures,
+    /// matching the historical behavior of this method). Use
+    /// [`Self::failure_prob_mc_quarantined`] for the full both-sided
+    /// accounting.
     ///
     /// # Errors
     ///
-    /// Propagates DC-solver failures from the linearization step.
+    /// Propagates DC-solver failures from the linearization step, and
+    /// returns [`CircuitError::QuarantineExceeded`] when the quarantine
+    /// rate exceeds the documented `PVTM_MAX_QUARANTINE` threshold.
     pub fn failure_prob_mc(
         &self,
         vt_inter: f64,
@@ -519,6 +525,35 @@ impl FailureAnalyzer {
         samples: u64,
         seed: u64,
     ) -> Result<McEstimate, CircuitError> {
+        let est = self.failure_prob_mc_quarantined(vt_inter, cond, samples, seed)?;
+        if est.quarantine_rate() > pvtm_telemetry::fault::max_quarantine() {
+            return Err(CircuitError::QuarantineExceeded {
+                quarantined: est.quarantined,
+                total: est.fail_bound.samples,
+            });
+        }
+        Ok(est.fail_bound)
+    }
+
+    /// [`Self::failure_prob_mc`] with full quarantine accounting: both-sided
+    /// bias bounds plus the quarantined-sample count, with no threshold
+    /// check applied.
+    ///
+    /// Each unresolved sample is recorded in the telemetry quarantine
+    /// sidecar (seed, sample stream index, corner, error kind), counted
+    /// under the `mc.quarantined` counter, and the two bias bounds are
+    /// published as gauges when any sample was quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-solver failures from the linearization step.
+    pub fn failure_prob_mc_quarantined(
+        &self,
+        vt_inter: f64,
+        cond: &Conditions,
+        samples: u64,
+        seed: u64,
+    ) -> Result<QuarantinedEstimate, CircuitError> {
         let _span = pvtm_telemetry::span("analyzer.mc");
         // Record a convergence trace under a default name unless the caller
         // already opened a scope (e.g. an experiment naming its own figure).
@@ -544,18 +579,32 @@ impl FailureAnalyzer {
         let sampler = ImportanceSampler::new(shift);
         // One compiled evaluator per parallel chunk: templates and
         // warm-started solver state are reused across that chunk's samples.
-        let est = sampler.probability_init(
+        let est = sampler.probability_init_quarantined(
             samples,
             seed,
             || self.evaluator(),
-            |ev, zs| {
+            |ev, zs, idx| {
                 let z: [f64; 6] = std::array::from_fn(|i| zs[i]);
                 match self.margins_at_with(ev, &z, vt_inter, cond) {
-                    Ok(m) => m.any_failure(),
-                    Err(_) => true,
+                    Ok(m) if m.any_failure() => SampleOutcome::Fail,
+                    Ok(_) => SampleOutcome::Pass,
+                    Err(e) => {
+                        pvtm_telemetry::record_quarantine(pvtm_telemetry::QuarantineRecord {
+                            seed,
+                            stream: idx,
+                            corner: vt_inter,
+                            kind: e.kind(),
+                        });
+                        SampleOutcome::Unresolved
+                    }
                 }
             },
         );
+        if est.quarantined > 0 {
+            pvtm_telemetry::counter_add("mc.quarantined", est.quarantined);
+            pvtm_telemetry::gauge_set("mc.quarantine_fail_bound", est.fail_bound.value);
+            pvtm_telemetry::gauge_set("mc.quarantine_pass_bound", est.pass_bound.value);
+        }
         Ok(est)
     }
 }

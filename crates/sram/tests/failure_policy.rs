@@ -1,0 +1,128 @@
+//! Fail-stop policy checks: pathological inputs and injected solver
+//! faults must surface as `CircuitError` (or quarantine) — never as a
+//! panic and never as a silent abort of a whole run.
+//!
+//! Fault-injection state is process-global, so these tests live in their
+//! own integration binary and serialize through a local mutex.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use pvtm_circuit::CircuitError;
+use pvtm_device::Technology;
+use pvtm_sram::analysis::AnalysisConfig;
+use pvtm_sram::cell::{CellSizing, Conditions};
+use pvtm_sram::failure::FailureAnalyzer;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn analyzer() -> FailureAnalyzer {
+    let tech = Technology::predictive_70nm();
+    FailureAnalyzer::new(
+        &tech,
+        CellSizing::default_for(&tech),
+        AnalysisConfig::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pathological cells — threshold shifts far beyond any physical
+    /// process spread, deep source bias — flow through the evaluator's
+    /// margins/metrics as a `Result`, never as a panic. Whether a given
+    /// monster converges is not the contract; not crashing is.
+    #[test]
+    fn pathological_cells_error_instead_of_panicking(
+        d0 in -0.6f64..0.6,
+        d1 in -0.6f64..0.6,
+        d2 in -0.6f64..0.6,
+        d3 in -0.6f64..0.6,
+        d4 in -0.6f64..0.6,
+        d5 in -0.6f64..0.6,
+        vt_inter in -0.4f64..0.4,
+        vsb in 0.0f64..0.74,
+    ) {
+        let _g = lock();
+        let fa = analyzer();
+        let tech = Technology::predictive_70nm();
+        let cond = Conditions::standby(&tech, vsb);
+        let mut ev = fa.evaluator();
+        ev.set_deviations([d0, d1, d2, d3, d4, d5]);
+        // Either outcome is acceptable; a panic is not.
+        let _ = ev.margins(&cond);
+        let _ = ev.metrics(&cond);
+        let _ = fa.linearize(vt_inter, &cond);
+    }
+}
+
+/// A solve forced to fail at every rung of the rescue ladder surfaces as
+/// `CircuitError::NoConvergence` through the analysis stack.
+#[test]
+fn exhausted_rescue_ladder_surfaces_circuit_error() {
+    let _g = lock();
+    let fa = analyzer();
+    let tech = Technology::predictive_70nm();
+    let cond = Conditions::active(&tech);
+    // Depth 10 outlives every trip point of both the warm and the cold
+    // strategy chains, so the solve is unrescuable by construction.
+    let _f = pvtm_telemetry::fault::force_depth(10);
+    let err = fa
+        .linearize(0.0, &cond)
+        .expect_err("an unrescuable injected fault must propagate as an error");
+    assert!(
+        matches!(err, CircuitError::NoConvergence { .. }),
+        "unexpected error kind: {err:?}"
+    );
+}
+
+/// Injected faults quarantine Monte-Carlo samples instead of aborting the
+/// estimator, and the records are identical across two runs (clock-free
+/// determinism of the quarantine path).
+#[test]
+fn injected_faults_quarantine_deterministically() {
+    let _g = lock();
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Summary);
+
+    let fa = analyzer();
+    let tech = Technology::predictive_70nm();
+    let cond = Conditions::active(&tech);
+
+    let run = || {
+        pvtm_telemetry::reset();
+        pvtm_telemetry::fault::force(0xFA57, 0.05);
+        let est = fa
+            .failure_prob_mc_quarantined(0.0, &cond, 2000, 7)
+            .expect("quarantine-aware estimator never fails below the rate gate");
+        pvtm_telemetry::fault::disable();
+        let report = pvtm_telemetry::snapshot();
+        (est, report.counter("mc.quarantined"), report.quarantine)
+    };
+    let (est_a, count_a, recs_a) = run();
+    let (est_b, count_b, recs_b) = run();
+
+    assert!(
+        est_a.quarantined > 0,
+        "a 5% injection rate over 2000 samples must quarantine something"
+    );
+    assert_eq!(
+        est_a.quarantined, count_a,
+        "counter disagrees with estimate"
+    );
+    assert!(!recs_a.is_empty(), "sidecar quarantine section empty");
+    // Both-sided bias bounds bracket the quarantined mass.
+    assert!(est_a.pass_bound.value <= est_a.fail_bound.value);
+
+    assert_eq!(est_a.fail_bound.value, est_b.fail_bound.value);
+    assert_eq!(est_a.pass_bound.value, est_b.pass_bound.value);
+    assert_eq!(count_a, count_b, "quarantine counts differ across runs");
+    assert_eq!(recs_a, recs_b, "quarantine records differ across runs");
+
+    pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
+    pvtm_telemetry::reset();
+}

@@ -41,6 +41,8 @@ pub mod summary;
 
 pub use distribution::{LogNormal, Normal};
 pub use histogram::Histogram;
-pub use montecarlo::{mc_mean, mc_probability, ImportanceSampler, McEstimate};
+pub use montecarlo::{
+    mc_mean, mc_probability, ImportanceSampler, McEstimate, QuarantinedEstimate, SampleOutcome,
+};
 pub use quadrature::GaussHermite;
 pub use summary::Summary;

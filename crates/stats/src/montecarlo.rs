@@ -43,6 +43,48 @@ impl McEstimate {
     }
 }
 
+/// Outcome of evaluating one Monte-Carlo sample.
+///
+/// `Unresolved` is the fail-stop escape hatch: the evaluator could not
+/// decide the sample (typically a circuit solve that exhausted the rescue
+/// ladder). Unresolved samples are *quarantined* — counted separately and
+/// bracketed by both-sided bias bounds — instead of aborting the whole
+/// estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// The sample is decisively not in the target event.
+    Pass,
+    /// The sample is decisively in the target event.
+    Fail,
+    /// The evaluator could not decide the sample; quarantine it.
+    Unresolved,
+}
+
+/// Importance-sampling estimate with quarantine accounting.
+///
+/// Quarantined (unresolved) samples are bracketed both ways: `fail_bound`
+/// treats every quarantined sample as a failure (the conservative upper
+/// bound, and the value fail-stop callers historically reported), while
+/// `pass_bound` treats them all as passes (the lower bound). The true
+/// probability lies between the two; their gap is the worst-case bias the
+/// quarantine introduces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinedEstimate {
+    /// Estimate with quarantined samples counted as failures (upper bound).
+    pub fail_bound: McEstimate,
+    /// Estimate with quarantined samples counted as passes (lower bound).
+    pub pass_bound: McEstimate,
+    /// Number of samples that came back [`SampleOutcome::Unresolved`].
+    pub quarantined: u64,
+}
+
+impl QuarantinedEstimate {
+    /// Fraction of samples quarantined.
+    pub fn quarantine_rate(&self) -> f64 {
+        self.quarantined as f64 / self.fail_bound.samples.max(1) as f64
+    }
+}
+
 /// Number of samples per parallel chunk. Large enough to amortize task
 /// overhead, small enough to spread across cores.
 const CHUNK: u64 = 4096;
@@ -273,6 +315,104 @@ impl ImportanceSampler {
             samples: summary.count(),
         }
     }
+
+    /// [`Self::probability_init`] with per-sample quarantine instead of
+    /// fail-stop.
+    ///
+    /// The event closure receives the worker state, the sampled vector, and
+    /// the sample's global index, and returns a three-way
+    /// [`SampleOutcome`]. Unresolved samples do not abort the estimation;
+    /// they are counted and bracketed by both-sided bias bounds (see
+    /// [`QuarantinedEstimate`]).
+    ///
+    /// Each event evaluation runs inside a deterministic fault-injection
+    /// stream keyed by the sample's global index
+    /// ([`pvtm_telemetry::fault::begin_stream`]), so injected solver
+    /// failures land on the same samples regardless of how chunks are
+    /// scheduled across threads. The random stream is identical to
+    /// [`Self::probability_init`] for the same seed: with no unresolved
+    /// samples, `fail_bound` equals its estimate bit-for-bit.
+    pub fn probability_init_quarantined<S>(
+        &self,
+        n: u64,
+        seed: u64,
+        init: impl Fn() -> S + Sync,
+        event: impl Fn(&mut S, &[f64], u64) -> SampleOutcome + Sync,
+    ) -> QuarantinedEstimate {
+        assert!(n > 0, "importance sampling needs at least one sample");
+        let d = self.shift.len();
+        let chunks = n.div_ceil(CHUNK);
+        let trace = trace_for_chunks();
+        let ctx = pvtm_telemetry::parallel_context();
+        let (s_hi, s_lo, quarantined) = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let _adopt = pvtm_telemetry::adopt(&ctx);
+                let _span = pvtm_telemetry::span("mc.chunk");
+                let mut rng = crate::rng::substream(seed, c);
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(n);
+                let mut s_hi = Summary::new();
+                let mut s_lo = Summary::new();
+                let mut quarantined = 0u64;
+                let mut z = vec![0.0f64; d];
+                let mut state = init();
+                for i in lo..hi {
+                    let mut dot = 0.0;
+                    for (zi, &mi) in z.iter_mut().zip(&self.shift) {
+                        let g: f64 = StandardNormal.sample(&mut rng);
+                        *zi = g + mi;
+                        dot += mi * *zi;
+                    }
+                    let outcome = {
+                        let _stream = pvtm_telemetry::fault::begin_stream(i);
+                        event(&mut state, &z, i)
+                    };
+                    let (w_hi, w_lo) = match outcome {
+                        SampleOutcome::Pass => (0.0, 0.0),
+                        SampleOutcome::Fail => {
+                            let w = (-dot + 0.5 * self.shift_norm2).exp();
+                            // Weight spread is the health metric of a
+                            // shifted estimator; quarantined samples are
+                            // excluded — their weight is a bound, not an
+                            // observation.
+                            pvtm_telemetry::hist_record("mc.is_weight", w);
+                            (w, w)
+                        }
+                        SampleOutcome::Unresolved => {
+                            quarantined += 1;
+                            ((-dot + 0.5 * self.shift_norm2).exp(), 0.0)
+                        }
+                    };
+                    s_hi.add(w_hi);
+                    s_lo.add(w_lo);
+                }
+                record_trace_chunk(&trace, c, &s_hi);
+                (s_hi, s_lo, quarantined)
+            })
+            .reduce(
+                || (Summary::new(), Summary::new(), 0u64),
+                |mut a, b| {
+                    a.0.merge(&b.0);
+                    a.1.merge(&b.1);
+                    a.2 += b.2;
+                    a
+                },
+            );
+        QuarantinedEstimate {
+            fail_bound: McEstimate {
+                value: s_hi.mean(),
+                std_err: s_hi.std_err(),
+                samples: s_hi.count(),
+            },
+            pass_bound: McEstimate {
+                value: s_lo.mean(),
+                std_err: s_lo.std_err(),
+                samples: s_lo.count(),
+            },
+            quarantined,
+        }
+    }
 }
 
 /// Draws `d` iid standard normal variates into a freshly allocated vector.
@@ -433,6 +573,83 @@ mod tests {
         }
         pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
         pvtm_telemetry::reset();
+    }
+
+    #[test]
+    fn quarantined_estimator_without_unresolved_matches_probability_init() {
+        // The random stream is shared with `probability_init`, so a fully
+        // resolved run must reproduce its estimate bit-for-bit.
+        let is = ImportanceSampler::new(vec![3.0, 0.5]);
+        let plain = is.probability_init(50_000, 23, || (), |(), z| z[0] + 0.1 * z[1] > 3.0);
+        let q = is.probability_init_quarantined(
+            50_000,
+            23,
+            || (),
+            |(), z, _i| {
+                if z[0] + 0.1 * z[1] > 3.0 {
+                    SampleOutcome::Fail
+                } else {
+                    SampleOutcome::Pass
+                }
+            },
+        );
+        assert_eq!(q.quarantined, 0);
+        assert_eq!(q.fail_bound, plain);
+        assert_eq!(q.pass_bound, plain);
+    }
+
+    #[test]
+    fn quarantined_samples_widen_the_bias_bounds() {
+        let is = ImportanceSampler::new(vec![3.0]);
+        let n = 50_000u64;
+        let q = is.probability_init_quarantined(
+            n,
+            31,
+            || (),
+            |(), z, i| {
+                if i % 1000 == 0 {
+                    SampleOutcome::Unresolved
+                } else if z[0] > 3.0 {
+                    SampleOutcome::Fail
+                } else {
+                    SampleOutcome::Pass
+                }
+            },
+        );
+        assert_eq!(q.quarantined, n.div_ceil(1000));
+        assert!((q.quarantine_rate() - 0.001).abs() < 1e-4);
+        // Every quarantined sample contributes its weight to the fail
+        // bound and zero to the pass bound, so the bounds must bracket.
+        assert!(q.fail_bound.value > q.pass_bound.value);
+        assert_eq!(q.fail_bound.samples, n);
+        assert_eq!(q.pass_bound.samples, n);
+        // And the true (fully resolved) estimate lies between them.
+        let clean = is.probability(n, 31, |z| z[0] > 3.0);
+        assert!(q.pass_bound.value <= clean.value + 1e-12);
+        assert!(q.fail_bound.value >= clean.value - 1e-12);
+    }
+
+    #[test]
+    fn quarantined_estimator_is_deterministic() {
+        let is = ImportanceSampler::new(vec![2.5]);
+        let run = || {
+            is.probability_init_quarantined(
+                30_000,
+                7,
+                || (),
+                |(), z, i| {
+                    if i % 777 == 3 {
+                        SampleOutcome::Unresolved
+                    } else if z[0] > 2.5 {
+                        SampleOutcome::Fail
+                    } else {
+                        SampleOutcome::Pass
+                    }
+                },
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
     }
 
     #[test]

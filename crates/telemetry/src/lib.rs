@@ -51,6 +51,7 @@
 //! ```
 
 pub mod clock;
+pub mod fault;
 pub mod json;
 mod report;
 mod trace_events;
@@ -252,6 +253,12 @@ pub struct SolverDelta {
     pub gmin_steps: u64,
     /// Source-ramp steps run.
     pub ramp_steps: u64,
+    /// Solves that entered the rescue ladder after the cold ladder failed.
+    pub rescue_attempts: u64,
+    /// Rescue-ladder entries that converged.
+    pub rescue_hits: u64,
+    /// Individual rescue rungs run.
+    pub rescue_rungs: u64,
 }
 
 impl SolverDelta {
@@ -266,7 +273,27 @@ impl SolverDelta {
         self.source_ramps += other.source_ramps;
         self.gmin_steps += other.gmin_steps;
         self.ramp_steps += other.ramp_steps;
+        self.rescue_attempts += other.rescue_attempts;
+        self.rescue_hits += other.rescue_hits;
+        self.rescue_rungs += other.rescue_rungs;
     }
+}
+
+/// One quarantined Monte-Carlo sample: enough provenance to replay it in
+/// isolation (`substream(seed, stream)`) and to attribute it to a corner.
+/// Recorded by [`record_quarantine`]; rendered in the sidecar's
+/// `quarantine` section (present only when non-empty, so reports without
+/// quarantined samples are byte-identical to pre-quarantine output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// Master seed of the estimator run.
+    pub seed: u64,
+    /// Substream index of the unresolved sample.
+    pub stream: u64,
+    /// Inter-die corner (σ·Vt shift) the sample was evaluated at.
+    pub corner: f64,
+    /// Error kind (the `CircuitError` variant name, e.g. `no_convergence`).
+    pub kind: &'static str,
 }
 
 #[derive(Debug, Default)]
@@ -330,6 +357,7 @@ struct Global {
     hists: BTreeMap<&'static str, Hist>,
     solver: SolverDelta,
     traces: BTreeMap<String, Vec<ChunkStat>>,
+    quarantine: Vec<QuarantineRecord>,
 }
 
 static GLOBAL: Mutex<Global> = Mutex::new(Global {
@@ -348,8 +376,12 @@ static GLOBAL: Mutex<Global> = Mutex::new(Global {
         source_ramps: 0,
         gmin_steps: 0,
         ramp_steps: 0,
+        rescue_attempts: 0,
+        rescue_hits: 0,
+        rescue_rungs: 0,
     },
     traces: BTreeMap::new(),
+    quarantine: Vec::new(),
 });
 
 fn global() -> MutexGuard<'static, Global> {
@@ -660,6 +692,20 @@ pub fn record_chunk(handle: &TraceHandle, chunk: u64, n: u64, mean: f64, m2: f64
         .push(ChunkStat { chunk, n, mean, m2 });
 }
 
+// ---------------------------------------------------------------- quarantine
+
+/// Records one quarantined sample. Events may arrive from any thread in any
+/// order; the report sorts by `(stream, seed, kind)` so two clock-off runs
+/// render byte-identically. Quarantine events are rare by construction
+/// (bounded by `PVTM_MAX_QUARANTINE`), so going straight to the global
+/// collector is fine. No-op unless `mode() >= Summary`.
+pub fn record_quarantine(rec: QuarantineRecord) {
+    if mode() == Mode::Off {
+        return;
+    }
+    global().quarantine.push(rec);
+}
+
 // ---------------------------------------------------------------- lifecycle
 
 /// Flushes this thread's collector and snapshots the merged totals.
@@ -683,6 +729,7 @@ pub fn reset() {
     g.hists.clear();
     g.solver = SolverDelta::default();
     g.traces.clear();
+    g.quarantine.clear();
 }
 
 #[cfg(test)]

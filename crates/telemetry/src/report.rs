@@ -1,7 +1,7 @@
 //! Snapshot of the merged telemetry state, plus its JSON sidecar form.
 
 use crate::json::{obj, Value};
-use crate::{ChunkStat, Global, Mode};
+use crate::{ChunkStat, Global, Mode, QuarantineRecord};
 
 /// Current sidecar schema version. Version 2 added `schema_version` itself
 /// plus per-span attribution (`self_ns`, solver counters per span);
@@ -79,6 +79,12 @@ pub struct SolverSummary {
     pub gmin_steps: u64,
     /// Source-ramp steps.
     pub ramp_steps: u64,
+    /// Solves that entered the rescue ladder.
+    pub rescue_attempts: u64,
+    /// Rescue-ladder entries that converged.
+    pub rescue_hits: u64,
+    /// Individual rescue rungs run.
+    pub rescue_rungs: u64,
     /// `warm_hits / warm_attempts`; 1.0 when no warm start was tried.
     pub warm_hit_rate: f64,
 }
@@ -126,6 +132,10 @@ pub struct Report {
     pub solver: SolverSummary,
     /// Convergence traces in name order.
     pub traces: Vec<TraceRow>,
+    /// Quarantined Monte-Carlo samples, sorted by `(stream, seed, kind)`
+    /// — empty in healthy runs, so the sidecar omits the section and
+    /// stays byte-identical to pre-quarantine output.
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
@@ -178,6 +188,9 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
             source_ramps: g.solver.source_ramps,
             gmin_steps: g.solver.gmin_steps,
             ramp_steps: g.solver.ramp_steps,
+            rescue_attempts: g.solver.rescue_attempts,
+            rescue_hits: g.solver.rescue_hits,
+            rescue_rungs: g.solver.rescue_rungs,
             warm_hit_rate: if g.solver.warm_attempts == 0 {
                 1.0
             } else {
@@ -192,6 +205,13 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
                 points: running_points(chunks),
             })
             .collect(),
+        quarantine: {
+            let mut q = g.quarantine.clone();
+            // Events arrive from worker threads in schedule order; sorting
+            // on the replay key makes two clock-off runs byte-identical.
+            q.sort_by_key(|r| (r.stream, r.seed, r.kind, r.corner.to_bits()));
+            q
+        },
     }
 }
 
@@ -259,43 +279,56 @@ impl Report {
         self.traces.iter().find(|t| t.name == name)
     }
 
+    /// The solver-counter object of the sidecar. The rescue keys are
+    /// emitted only when the rescue ladder ran at all, so sidecars of
+    /// rescue-free runs stay byte-identical to pre-rescue output.
+    fn solver_value(&self) -> Value {
+        let mut fields = vec![
+            ("solves", Value::Num(self.solver.solves as f64)),
+            (
+                "newton_iterations",
+                Value::Num(self.solver.newton_iterations as f64),
+            ),
+            (
+                "lu_factorizations",
+                Value::Num(self.solver.lu_factorizations as f64),
+            ),
+            (
+                "warm_attempts",
+                Value::Num(self.solver.warm_attempts as f64),
+            ),
+            ("warm_hits", Value::Num(self.solver.warm_hits as f64)),
+            ("cold_solves", Value::Num(self.solver.cold_solves as f64)),
+            (
+                "damped_retries",
+                Value::Num(self.solver.damped_retries as f64),
+            ),
+            ("source_ramps", Value::Num(self.solver.source_ramps as f64)),
+            ("gmin_steps", Value::Num(self.solver.gmin_steps as f64)),
+            ("ramp_steps", Value::Num(self.solver.ramp_steps as f64)),
+        ];
+        if self.solver.rescue_attempts > 0 {
+            fields.push((
+                "rescue_attempts",
+                Value::Num(self.solver.rescue_attempts as f64),
+            ));
+            fields.push(("rescue_hits", Value::Num(self.solver.rescue_hits as f64)));
+            fields.push(("rescue_rungs", Value::Num(self.solver.rescue_rungs as f64)));
+        }
+        fields.push(("warm_hit_rate", Value::Num(self.solver.warm_hit_rate)));
+        obj(fields)
+    }
+
     /// The sidecar document (`results/<id>.telemetry.json` schema) as a
     /// JSON tree.
     pub fn to_value(&self, id: &str) -> Value {
-        obj(vec![
+        let mut doc = vec![
             ("schema", Value::Str("pvtm-telemetry/2".into())),
             ("schema_version", Value::Num(f64::from(SCHEMA_VERSION))),
             ("id", Value::Str(id.into())),
             ("mode", Value::Str(self.mode.as_str().into())),
             ("clock", Value::Bool(self.clock)),
-            (
-                "solver",
-                obj(vec![
-                    ("solves", Value::Num(self.solver.solves as f64)),
-                    (
-                        "newton_iterations",
-                        Value::Num(self.solver.newton_iterations as f64),
-                    ),
-                    (
-                        "lu_factorizations",
-                        Value::Num(self.solver.lu_factorizations as f64),
-                    ),
-                    (
-                        "warm_attempts",
-                        Value::Num(self.solver.warm_attempts as f64),
-                    ),
-                    ("warm_hits", Value::Num(self.solver.warm_hits as f64)),
-                    ("cold_solves", Value::Num(self.solver.cold_solves as f64)),
-                    (
-                        "damped_retries",
-                        Value::Num(self.solver.damped_retries as f64),
-                    ),
-                    ("source_ramps", Value::Num(self.solver.source_ramps as f64)),
-                    ("gmin_steps", Value::Num(self.solver.gmin_steps as f64)),
-                    ("ramp_steps", Value::Num(self.solver.ramp_steps as f64)),
-                    ("warm_hit_rate", Value::Num(self.solver.warm_hit_rate)),
-                ]),
-            ),
+            ("solver", self.solver_value()),
             (
                 "counters",
                 Value::Obj(
@@ -405,7 +438,28 @@ impl Report {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if !self.quarantine.is_empty() {
+            doc.push((
+                "quarantine",
+                Value::Arr(
+                    self.quarantine
+                        .iter()
+                        .map(|q| {
+                            obj(vec![
+                                // Hex strings, not Num: full-range u64 replay
+                                // keys don't survive an f64 round trip.
+                                ("seed", Value::Str(format!("{:#018x}", q.seed))),
+                                ("stream", Value::Str(format!("{:#018x}", q.stream))),
+                                ("corner", Value::Num(q.corner)),
+                                ("kind", Value::Str(q.kind.into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        obj(doc)
     }
 
     /// The sidecar document as pretty-printed JSON text.
@@ -428,6 +482,15 @@ impl Report {
         let fallbacks = self.solver.damped_retries + self.solver.source_ramps;
         if fallbacks > 0 {
             line.push_str(&format!(" fallbacks={fallbacks}"));
+        }
+        if self.solver.rescue_attempts > 0 {
+            line.push_str(&format!(
+                " rescue={}/{}",
+                self.solver.rescue_hits, self.solver.rescue_attempts
+            ));
+        }
+        if !self.quarantine.is_empty() {
+            line.push_str(&format!(" quarantined={}", self.quarantine.len()));
         }
         for t in &self.traces {
             if let Some(p) = t.points.last() {

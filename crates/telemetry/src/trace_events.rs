@@ -278,9 +278,13 @@ mod tests {
                 source_ramps: 0,
                 gmin_steps: 0,
                 ramp_steps: 0,
+                rescue_attempts: 0,
+                rescue_hits: 0,
+                rescue_rungs: 0,
                 warm_hit_rate: 1.0,
             },
             traces: vec![],
+            quarantine: vec![],
         };
         let doc = r.to_trace_events("par");
         let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();

@@ -111,7 +111,9 @@ proptest! {
                 cols.insert(c);
             }
         }
-        let report = BistController::new().run(&MarchTest::march_c_minus(), &mut mem);
+        let report = BistController::new()
+            .run(&MarchTest::march_c_minus(), &mut mem)
+            .unwrap();
         prop_assert_eq!(report.faulty_columns(), cols.len());
         for &(r, c) in &cells {
             prop_assert!(
@@ -159,7 +161,7 @@ proptest! {
             let vsb = k as f64 * 0.1;
             let mut mem = build();
             mem.set_vsb(vsb);
-            let faulty = bist.run(&march, &mut mem).faulty_columns();
+            let faulty = bist.run(&march, &mut mem).unwrap().faulty_columns();
             prop_assert!(faulty >= prev, "vsb {vsb}: {faulty} < {prev}");
             prev = faulty;
         }
