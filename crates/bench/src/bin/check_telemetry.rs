@@ -39,9 +39,9 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("malformed JSON in {path}: {e}")),
     };
 
-    // v1 sidecars predate the numeric `schema_version` field; both read fine.
+    // v1 sidecars predate the numeric `schema_version` field; all read fine.
     match doc.get("schema").and_then(Value::as_str) {
-        Some("pvtm-telemetry/1" | "pvtm-telemetry/2") => {}
+        Some("pvtm-telemetry/1" | "pvtm-telemetry/2" | "pvtm-telemetry/3") => {}
         other => return fail(&format!("unexpected schema {other:?}")),
     }
     let Some(id) = doc.get("id").and_then(Value::as_str) else {

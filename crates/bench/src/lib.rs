@@ -76,15 +76,36 @@ impl Reporter {
     }
 
     /// Runs one figure: resets telemetry, executes `f`, snapshots the
-    /// report, persists result JSON + sidecars and returns the value.
+    /// report, persists result JSON + sidecars + the finalized event
+    /// journal, and returns the value.
     pub fn figure<T: Display + Serialize>(&mut self, id: &str, f: impl FnOnce() -> T) -> T {
         pvtm_telemetry::reset();
+        // Open the live event journal before the figure runs: a killed run
+        // keeps the arrival-order partial record; a completed figure gets
+        // the canonical (sorted, densely renumbered) rewrite below.
+        let journal_open = if pvtm_telemetry::is_enabled() {
+            let dir = pvtm::experiments::results_dir();
+            let _ = std::fs::create_dir_all(&dir);
+            pvtm_telemetry::events::open_journal(&dir.join(format!("{id}.events.jsonl")), id)
+                .unwrap_or(false)
+        } else {
+            false
+        };
         // A gated-off stopwatch reports 0.0 s, keeping every
         // machine-readable output byte-identical across runs.
         let watch = Stopwatch::started();
         let value = f();
         let seconds = watch.elapsed_secs();
         let report = pvtm_telemetry::snapshot();
+        let journal_path = if journal_open {
+            pvtm_telemetry::events::finalize_journal(&[
+                ("solves", Value::Num(report.solver.solves as f64)),
+                ("quarantined", Value::Num(report.quarantine.len() as f64)),
+            ])
+            .expect("finalize event journal")
+        } else {
+            None
+        };
 
         let result_path = pvtm::experiments::save_json(id, &value).expect("write result JSON");
         let (telemetry_path, trace_path) = if report.mode == pvtm_telemetry::Mode::Full {
@@ -103,6 +124,7 @@ impl Reporter {
             &result_path,
             telemetry_path.as_deref(),
             trace_path.as_deref(),
+            journal_path.as_deref(),
         );
 
         if !self.quiet {
@@ -123,6 +145,7 @@ impl Reporter {
         value
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn append_jsonl(
         &self,
         id: &str,
@@ -131,6 +154,7 @@ impl Reporter {
         result_path: &Path,
         telemetry_path: Option<&Path>,
         trace_path: Option<&Path>,
+        journal_path: Option<&Path>,
     ) {
         let line = obj(vec![
             ("id", Value::Str(id.to_string())),
@@ -157,6 +181,13 @@ impl Reporter {
                     None => Value::Null,
                 },
             ),
+            (
+                "events",
+                match journal_path {
+                    Some(p) => Value::Str(p.display().to_string()),
+                    None => Value::Null,
+                },
+            ),
         ]);
         let dir = pvtm::experiments::results_dir();
         let _ = std::fs::create_dir_all(&dir);
@@ -166,7 +197,14 @@ impl Reporter {
             .append(true)
             .open(&path)
             .expect("open figures.jsonl");
-        writeln!(file, "{}", line.to_json()).expect("append figures.jsonl");
+        // One write_all + flush per record: a `writeln!` can issue several
+        // partial writes, so a figure killed mid-append could leave a torn
+        // line; this way the record is durable the moment the figure ends.
+        let mut rec = line.to_json();
+        rec.push('\n');
+        file.write_all(rec.as_bytes())
+            .expect("append figures.jsonl");
+        file.flush().expect("flush figures.jsonl");
     }
 
     /// The per-figure records accumulated so far.
@@ -233,9 +271,12 @@ mod tests {
             rec.get("id").and_then(Value::as_str),
             Some("unit-test-figure")
         );
-        // Telemetry defaults to off here, so no sidecar is written.
+        // Telemetry defaults to off here, so no sidecar or journal is
+        // written.
         assert_eq!(rec.get("telemetry"), Some(&Value::Null));
+        assert_eq!(rec.get("events"), Some(&Value::Null));
         assert!(!dir.join("unit-test-figure.telemetry.json").exists());
+        assert!(!dir.join("unit-test-figure.events.jsonl").exists());
         let _ = std::fs::remove_dir_all(dir);
     }
 }

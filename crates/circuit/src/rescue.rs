@@ -30,6 +30,7 @@
 use crate::dc::{gmin_continuation, init_state, injected_failure, DcOptions, DcWorkspace, System};
 use crate::netlist::CircuitError;
 use pvtm_telemetry::fault;
+use pvtm_telemetry::json::Value;
 
 /// Escalates through the rescue ladder on a state that the standard cold
 /// strategies already failed. Counts one attempt, one rung per ladder
@@ -46,12 +47,49 @@ pub(crate) fn rescue(
     ws: &mut DcWorkspace,
 ) -> Result<(), CircuitError> {
     ws.stats.rescue_attempts += 1;
+    let rungs_before = ws.stats.rescue_rungs;
+    let result = ladder(sys, x, opts, ws);
+    if result.is_ok() {
+        ws.stats.rescue_hits += 1;
+    }
+    // Journal the escalation. The armed fault/quarantine stream is the
+    // sample's replay key; outside an estimator (no stream armed) a
+    // sentinel keeps the event keyed deterministically.
+    let stream = fault::current_stream();
+    pvtm_telemetry::events::emit(
+        "solver.rescue",
+        stream.unwrap_or(u64::MAX),
+        ws.stats.rescue_rungs - rungs_before,
+        vec![
+            (
+                "stream",
+                match stream {
+                    Some(s) => Value::Num(s as f64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "rungs",
+                Value::Num((ws.stats.rescue_rungs - rungs_before) as f64),
+            ),
+            ("hit", Value::Bool(result.is_ok())),
+        ],
+    );
+    result
+}
 
+/// The three rungs themselves; counts rungs but leaves attempt/hit
+/// accounting to [`rescue`].
+fn ladder(
+    sys: &System<'_>,
+    x: &mut [f64],
+    opts: &DcOptions,
+    ws: &mut DcWorkspace,
+) -> Result<(), CircuitError> {
     // Rung 1: tighter Gmin stepping at the caller's damping.
     ws.stats.rescue_rungs += 1;
     init_state(x, opts);
     if !fault::trip() && fine_gmin(sys, x, opts, 1.0, ws).is_ok() {
-        ws.stats.rescue_hits += 1;
         return Ok(());
     }
 
@@ -64,7 +102,6 @@ pub(crate) fn rescue(
     };
     init_state(x, opts);
     if !fault::trip() && wide_ramp(sys, x, &damped, ws).is_ok() {
-        ws.stats.rescue_hits += 1;
         return Ok(());
     }
 
@@ -76,17 +113,10 @@ pub(crate) fn rescue(
         ..opts.clone()
     };
     init_state(x, opts);
-    let last = if fault::trip() {
+    if fault::trip() {
         Err(injected_failure())
     } else {
         fine_gmin(sys, x, &deep, 1.0, ws)
-    };
-    match last {
-        Ok(()) => {
-            ws.stats.rescue_hits += 1;
-            Ok(())
-        }
-        Err(e) => Err(e),
     }
 }
 

@@ -97,7 +97,7 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
                 // depend on which corners this worker processed before
                 // (keeps telemetry work counters schedule-independent).
                 ev.invalidate_warm();
-                match fa.failure_probs_with(ev, vt_inter, &cond) {
+                let outcome = match fa.failure_probs_with(ev, vt_inter, &cond) {
                     Ok(p) => (
                         Fig2aRow {
                             vt_inter,
@@ -126,7 +126,22 @@ pub fn fig2a(effort: Effort) -> Result<Fig2a, CircuitError> {
                             true,
                         )
                     }
+                };
+                {
+                    use pvtm_telemetry::json::Value;
+                    pvtm_telemetry::events::emit(
+                        "figure.corner",
+                        ci as u64,
+                        0,
+                        vec![
+                            ("figure", Value::Str("fig2a".into())),
+                            ("corner", Value::Num(ci as f64)),
+                            ("vt_inter", Value::Num(vt_inter)),
+                            ("quarantined", Value::Bool(outcome.1)),
+                        ],
+                    );
                 }
+                outcome
             },
         )
         .collect();

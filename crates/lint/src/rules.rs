@@ -96,6 +96,7 @@ impl fmt::Display for Diagnostic {
 pub const DOCUMENTED_ENV_KNOBS: &[&str] = &[
     "PVTM_TELEMETRY",
     "PVTM_TELEMETRY_CLOCK",
+    "PVTM_EVENTS",
     "PVTM_QUIET",
     "PVTM_EFFORT",
     "PVTM_RESULTS_DIR",
@@ -137,6 +138,11 @@ pub const SPAN_ROOTS: &[&str] = &[
 /// (DESIGN.md §5b: solver counters, Monte-Carlo estimator health, evaluator
 /// and analyzer accounting, bench harness).
 pub const METRIC_ROOTS: &[&str] = &["solver", "mc", "optimizer", "eval", "analyzer", "bench"];
+
+/// First dotted segments of valid event-journal kinds (DESIGN.md §5d:
+/// run lifecycle, figure milestones, Monte-Carlo estimator stream, solver
+/// escalations).
+pub const EVENT_ROOTS: &[&str] = &["run", "figure", "mc", "solver", "eval", "analyzer"];
 
 /// The only file allowed to touch the wall clock directly.
 const WALLCLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs"];
@@ -468,6 +474,7 @@ fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
             "counter_add" => "counter",
             "gauge_set" => "gauge",
             "hist_record" => "histogram",
+            "emit" => "event",
             _ => continue,
         };
         // Only path-qualified calls (`pvtm_telemetry::span(…)`, `tm::span(…)`)
@@ -508,10 +515,10 @@ fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let root = name.split('.').next().unwrap_or_default();
-        let roots: &[&str] = if kind == "span" || kind == "trace" {
-            SPAN_ROOTS
-        } else {
-            METRIC_ROOTS
+        let (roots, section): (&[&str], &str) = match kind {
+            "span" | "trace" => (SPAN_ROOTS, "5b"),
+            "event" => (EVENT_ROOTS, "5d"),
+            _ => (METRIC_ROOTS, "5b"),
         };
         if !roots.contains(&root) {
             ctx.diag(
@@ -519,8 +526,9 @@ fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
                 i,
                 RuleId::TelemetryTaxonomy,
                 format!(
-                    "telemetry {kind} name \"{name}\" is outside the DESIGN.md §5b taxonomy \
-                     (unknown root \"{root}\"); extend the taxonomy and this registry together"
+                    "telemetry {kind} name \"{name}\" is outside the DESIGN.md §{section} \
+                     taxonomy (unknown root \"{root}\"); extend the taxonomy and this registry \
+                     together"
                 ),
             );
         }
@@ -743,6 +751,22 @@ mod tests {
             vec![(RuleId::TelemetryTaxonomy, 1)]
         );
         assert!(rules_of("crates/sram/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn taxonomy_covers_event_journal_kinds() {
+        let good = "fn f() { pvtm_telemetry::events::emit(\"mc.chunk\", 0, 0, vec![]); }\n";
+        let bad_root = "fn f() { pvtm_telemetry::events::emit(\"widget.spin\", 0, 0, vec![]); }\n";
+        let bad_shape = "fn f() { pvtm_telemetry::events::emit(\"Mc.Chunk\", 0, 0, vec![]); }\n";
+        assert!(rules_of("crates/sram/src/a.rs", good).is_empty());
+        let d = lint_source("crates/sram/src/a.rs", bad_root);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("event"), "{}", d[0].message);
+        assert!(d[0].message.contains("5d"), "{}", d[0].message);
+        assert_eq!(
+            rules_of("crates/sram/src/a.rs", bad_shape),
+            vec![(RuleId::TelemetryTaxonomy, 1)]
+        );
     }
 
     #[test]

@@ -604,6 +604,32 @@ impl FailureAnalyzer {
             pvtm_telemetry::counter_add("mc.quarantined", est.quarantined);
             pvtm_telemetry::gauge_set("mc.quarantine_fail_bound", est.fail_bound.value);
             pvtm_telemetry::gauge_set("mc.quarantine_pass_bound", est.pass_bound.value);
+            // Worst-case quarantine bias as a share of the CI width: when
+            // the fail/pass gap rivals the sampling error, the quarantined
+            // tail — not noise — limits what the estimate can claim.
+            let ci = est.fail_bound.ci95();
+            if ci > 0.0 {
+                pvtm_telemetry::gauge_set(
+                    "mc.quarantine_ci_share",
+                    (est.fail_bound.value - est.pass_bound.value) / (2.0 * ci),
+                );
+            }
+        }
+        {
+            use pvtm_telemetry::json::Value;
+            pvtm_telemetry::events::emit(
+                "mc.estimate",
+                vt_inter.to_bits(),
+                seed,
+                vec![
+                    ("corner", Value::Num(vt_inter)),
+                    ("samples", Value::Num(est.fail_bound.samples as f64)),
+                    ("value", Value::Num(est.fail_bound.value)),
+                    ("std_err", Value::Num(est.fail_bound.std_err)),
+                    ("pass_bound", Value::Num(est.pass_bound.value)),
+                    ("quarantined", Value::Num(est.quarantined as f64)),
+                ],
+            );
         }
         Ok(est)
     }

@@ -103,6 +103,48 @@ fn record_trace_chunk(trace: &Option<pvtm_telemetry::TraceHandle>, chunk: u64, s
     }
 }
 
+/// Journals the estimator's planned work (`mc.start`) before fan-out.
+fn record_start(trace: &Option<pvtm_telemetry::TraceHandle>, n: u64, chunks: u64) {
+    if let Some(t) = trace {
+        pvtm_telemetry::record_mc_start(t, n, chunks);
+    }
+}
+
+/// Importance-weight health moments of one chunk, accumulated *beside* the
+/// estimate arithmetic (never inside it — the reproduced numbers must be
+/// bit-identical with health recording on or off).
+#[derive(Debug, Clone, Copy, Default)]
+struct WeightHealth {
+    fails: u64,
+    sum: f64,
+    sq_sum: f64,
+    max: f64,
+}
+
+impl WeightHealth {
+    fn observe(&mut self, w: f64) {
+        self.fails += 1;
+        self.sum += w;
+        self.sq_sum += w * w;
+        self.max = self.max.max(w);
+    }
+
+    fn record(&self, trace: &Option<pvtm_telemetry::TraceHandle>, chunk: u64) {
+        if let Some(t) = trace {
+            pvtm_telemetry::record_chunk_health(
+                t,
+                chunk,
+                pvtm_telemetry::HealthChunk {
+                    fails: self.fails,
+                    weight_sum: self.sum,
+                    weight_sq_sum: self.sq_sum,
+                    weight_max: self.max,
+                },
+            );
+        }
+    }
+}
+
 /// Estimates `E[f(rng)]` with `n` samples, parallelized over chunks with
 /// independent deterministic substreams derived from `seed`.
 ///
@@ -120,6 +162,7 @@ pub fn mc_mean(n: u64, seed: u64, f: impl Fn(&mut StdRng) -> f64 + Sync) -> McEs
     assert!(n > 0, "mc_mean needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
     let trace = trace_for_chunks();
+    record_start(&trace, n, chunks);
     let ctx = pvtm_telemetry::parallel_context();
     let summary = (0..chunks)
         .into_par_iter()
@@ -155,6 +198,7 @@ pub fn mc_probability(n: u64, seed: u64, event: impl Fn(&mut StdRng) -> bool + S
     assert!(n > 0, "mc_probability needs at least one sample");
     let chunks = n.div_ceil(CHUNK);
     let trace = trace_for_chunks();
+    record_start(&trace, n, chunks);
     let ctx = pvtm_telemetry::parallel_context();
     let hits: u64 = (0..chunks)
         .into_par_iter()
@@ -271,6 +315,7 @@ impl ImportanceSampler {
         let d = self.shift.len();
         let chunks = n.div_ceil(CHUNK);
         let trace = trace_for_chunks();
+        record_start(&trace, n, chunks);
         let ctx = pvtm_telemetry::parallel_context();
         let summary = (0..chunks)
             .into_par_iter()
@@ -281,6 +326,7 @@ impl ImportanceSampler {
                 let lo = c * CHUNK;
                 let hi = ((c + 1) * CHUNK).min(n);
                 let mut s = Summary::new();
+                let mut health = WeightHealth::default();
                 let mut z = vec![0.0f64; d];
                 let mut state = init();
                 for _ in lo..hi {
@@ -296,6 +342,7 @@ impl ImportanceSampler {
                         // estimator: a long right tail means the shift
                         // overshot and single samples dominate.
                         pvtm_telemetry::hist_record("mc.is_weight", w);
+                        health.observe(w);
                         w
                     } else {
                         0.0
@@ -303,6 +350,7 @@ impl ImportanceSampler {
                     s.add(w);
                 }
                 record_trace_chunk(&trace, c, &s);
+                health.record(&trace, c);
                 s
             })
             .reduce(Summary::new, |mut a, b| {
@@ -343,6 +391,7 @@ impl ImportanceSampler {
         let d = self.shift.len();
         let chunks = n.div_ceil(CHUNK);
         let trace = trace_for_chunks();
+        record_start(&trace, n, chunks);
         let ctx = pvtm_telemetry::parallel_context();
         let (s_hi, s_lo, quarantined) = (0..chunks)
             .into_par_iter()
@@ -354,6 +403,7 @@ impl ImportanceSampler {
                 let hi = ((c + 1) * CHUNK).min(n);
                 let mut s_hi = Summary::new();
                 let mut s_lo = Summary::new();
+                let mut health = WeightHealth::default();
                 let mut quarantined = 0u64;
                 let mut z = vec![0.0f64; d];
                 let mut state = init();
@@ -377,6 +427,7 @@ impl ImportanceSampler {
                             // excluded — their weight is a bound, not an
                             // observation.
                             pvtm_telemetry::hist_record("mc.is_weight", w);
+                            health.observe(w);
                             (w, w)
                         }
                         SampleOutcome::Unresolved => {
@@ -388,6 +439,7 @@ impl ImportanceSampler {
                     s_lo.add(w_lo);
                 }
                 record_trace_chunk(&trace, c, &s_hi);
+                health.record(&trace, c);
                 (s_hi, s_lo, quarantined)
             })
             .reduce(
@@ -542,6 +594,28 @@ mod tests {
             .find(|h| h.name == "mc.is_weight")
             .expect("weight histogram missing");
         assert!(h.count > 0);
+
+        // And the per-chunk weight moments feed the estimator-health
+        // diagnostics: ESS over contributing weights, bounded fractions.
+        let health = t.health.expect("trace health missing");
+        assert!(health.has_weights);
+        assert_eq!(health.contributing, h.count);
+        assert!(health.ess > 0.0 && health.ess <= health.contributing as f64);
+        assert!(health.ess_fraction > 0.0 && health.ess_fraction <= 1.0);
+        assert!(health.max_weight_fraction > 0.0 && health.max_weight_fraction <= 1.0);
+        assert_eq!(health.steps, t.points.len() as u64 - 1);
+        // The derived run-level gauges mirror the single trace.
+        let gauge = |name: &str| {
+            r.gauges
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .expect(name)
+        };
+        assert_eq!(gauge("mc.ess"), health.ess);
+        assert_eq!(gauge("mc.ess_fraction"), health.ess_fraction);
+        assert_eq!(gauge("mc.max_weight_fraction"), health.max_weight_fraction);
+        assert_eq!(gauge("mc.stall_ratio"), health.stall_ratio);
 
         pvtm_telemetry::set_mode(pvtm_telemetry::Mode::Off);
         pvtm_telemetry::reset();

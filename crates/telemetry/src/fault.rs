@@ -197,6 +197,20 @@ pub fn force_depth(depth: u32) -> StreamGuard {
     StreamGuard { prev, forced: true }
 }
 
+/// The substream index currently armed on this thread, or `None` when no
+/// stream is active (injection off, or outside a [`begin_stream`] scope).
+/// Lets event producers — the rescue ladder journaling a `solver.rescue`
+/// — attribute work to a replayable sample without new plumbing.
+pub fn current_stream() -> Option<u64> {
+    STREAM
+        .try_with(|s| {
+            let st = s.get();
+            st.active.then_some(st.stream)
+        })
+        .ok()
+        .flatten()
+}
+
 /// Arms fault injection for the solves of one estimator substream (the
 /// same `stream` index the sample's RNG is derived from, so a quarantined
 /// record pinpoints a replayable sample). Inert when injection is off.

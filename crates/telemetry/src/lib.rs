@@ -51,13 +51,15 @@
 //! ```
 
 pub mod clock;
+pub mod events;
 pub mod fault;
 pub mod json;
 mod report;
 mod trace_events;
 
 pub use report::{
-    HistBucket, HistRow, Report, SolverSummary, SpanRow, TracePoint, TraceRow, SCHEMA_VERSION,
+    HistBucket, HistRow, Report, SolverSummary, SpanRow, TraceHealth, TracePoint, TraceRow,
+    SCHEMA_VERSION,
 };
 
 use std::cell::RefCell;
@@ -165,6 +167,8 @@ pub(crate) struct SpanSolver {
     pub(crate) newton_iterations: u64,
     pub(crate) lu_factorizations: u64,
     pub(crate) cold_solves: u64,
+    pub(crate) rescue_attempts: u64,
+    pub(crate) rescue_hits: u64,
 }
 
 impl SpanSolver {
@@ -173,6 +177,8 @@ impl SpanSolver {
         self.newton_iterations += other.newton_iterations;
         self.lu_factorizations += other.lu_factorizations;
         self.cold_solves += other.cold_solves;
+        self.rescue_attempts += other.rescue_attempts;
+        self.rescue_hits += other.rescue_hits;
     }
 }
 
@@ -357,6 +363,7 @@ struct Global {
     hists: BTreeMap<&'static str, Hist>,
     solver: SolverDelta,
     traces: BTreeMap<String, Vec<ChunkStat>>,
+    health: BTreeMap<String, Vec<(u64, HealthChunk)>>,
     quarantine: Vec<QuarantineRecord>,
 }
 
@@ -381,6 +388,7 @@ static GLOBAL: Mutex<Global> = Mutex::new(Global {
         rescue_rungs: 0,
     },
     traces: BTreeMap::new(),
+    health: BTreeMap::new(),
     quarantine: Vec::new(),
 });
 
@@ -603,6 +611,8 @@ pub fn record_solver(delta: &SolverDelta) {
                 newton_iterations: delta.newton_iterations,
                 lu_factorizations: delta.lu_factorizations,
                 cold_solves: delta.cold_solves,
+                rescue_attempts: delta.rescue_attempts,
+                rescue_hits: delta.rescue_hits,
             };
             if let Some(s) = c.spans.get_mut(&c.path) {
                 s.solver.add(&charge);
@@ -680,7 +690,8 @@ pub fn active_trace() -> Option<TraceHandle> {
 
 /// Records one chunk's running moments (`n` observations, Welford `mean`
 /// and `m2`) under the handle's trace. Chunks may arrive in any order from
-/// any thread; the report sorts by `chunk`.
+/// any thread; the report sorts by `chunk`. Also journals an `mc.chunk`
+/// event keyed by `(trace, chunk)`.
 pub fn record_chunk(handle: &TraceHandle, chunk: u64, n: u64, mean: f64, m2: f64) {
     if mode() == Mode::Off {
         return;
@@ -690,6 +701,86 @@ pub fn record_chunk(handle: &TraceHandle, chunk: u64, n: u64, mean: f64, m2: f64
         .entry(handle.0.to_string())
         .or_default()
         .push(ChunkStat { chunk, n, mean, m2 });
+    events::emit(
+        "mc.chunk",
+        events::name_key(&handle.0),
+        chunk,
+        vec![
+            ("trace", json::Value::Str(handle.0.to_string())),
+            ("chunk", json::Value::Num(chunk as f64)),
+            ("n", json::Value::Num(n as f64)),
+            ("mean", json::Value::Num(mean)),
+            ("m2", json::Value::Num(m2)),
+        ],
+    );
+}
+
+/// Journals an `mc.start` event announcing a chunked estimator's total
+/// planned work (`samples` observations over `chunks` chunks) under the
+/// handle's trace — what gives `pvtm-trace tail` its denominator for
+/// progress and ETA. No-op unless `mode() >= Summary`.
+pub fn record_mc_start(handle: &TraceHandle, samples: u64, chunks: u64) {
+    if mode() == Mode::Off {
+        return;
+    }
+    events::emit(
+        "mc.start",
+        events::name_key(&handle.0),
+        u64::MAX, // sorts after every mc.chunk key, but kind breaks the tie first
+        vec![
+            ("trace", json::Value::Str(handle.0.to_string())),
+            ("samples", json::Value::Num(samples as f64)),
+            ("chunks", json::Value::Num(chunks as f64)),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------- health
+
+/// One Monte-Carlo chunk's estimator-health side channel: the
+/// importance-sampling weight moments over *contributing* (failing)
+/// samples in that chunk. Accumulated by estimators alongside — never
+/// inside — the estimate arithmetic, so recording it cannot perturb the
+/// reproduced numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HealthChunk {
+    /// Contributing (failing) samples in this chunk.
+    pub fails: u64,
+    /// Σw over contributing samples.
+    pub weight_sum: f64,
+    /// Σw² over contributing samples.
+    pub weight_sq_sum: f64,
+    /// max(w) over contributing samples.
+    pub weight_max: f64,
+}
+
+/// Records one chunk's health moments under the handle's trace and
+/// journals an `mc.health` event. Chunks may arrive in any order from any
+/// thread; the report sorts by chunk index and folds the moments (all
+/// sums/max — commutative) into per-trace ESS and max-weight-fraction
+/// diagnostics. No-op unless `mode() >= Summary`.
+pub fn record_chunk_health(handle: &TraceHandle, chunk: u64, h: HealthChunk) {
+    if mode() == Mode::Off {
+        return;
+    }
+    global()
+        .health
+        .entry(handle.0.to_string())
+        .or_default()
+        .push((chunk, h));
+    events::emit(
+        "mc.health",
+        events::name_key(&handle.0),
+        chunk,
+        vec![
+            ("trace", json::Value::Str(handle.0.to_string())),
+            ("chunk", json::Value::Num(chunk as f64)),
+            ("fails", json::Value::Num(h.fails as f64)),
+            ("weight_sum", json::Value::Num(h.weight_sum)),
+            ("weight_sq_sum", json::Value::Num(h.weight_sq_sum)),
+            ("weight_max", json::Value::Num(h.weight_max)),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------- quarantine
@@ -703,6 +794,19 @@ pub fn record_quarantine(rec: QuarantineRecord) {
     if mode() == Mode::Off {
         return;
     }
+    events::emit(
+        "mc.quarantine",
+        rec.stream,
+        rec.seed,
+        vec![
+            ("seed", json::Value::Str(format!("{:#018x}", rec.seed))),
+            ("stream", json::Value::Num(rec.stream as f64)),
+            ("corner", json::Value::Num(rec.corner)),
+            // "reason", not "kind": the event's own "kind" member is
+            // already taken by the taxonomy name.
+            ("reason", json::Value::Str(rec.kind.to_string())),
+        ],
+    );
     global().quarantine.push(rec);
 }
 
@@ -729,7 +833,10 @@ pub fn reset() {
     g.hists.clear();
     g.solver = SolverDelta::default();
     g.traces.clear();
+    g.health.clear();
     g.quarantine.clear();
+    drop(g);
+    events::clear();
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Snapshot of the merged telemetry state, plus its JSON sidecar form.
 
 use crate::json::{obj, Value};
-use crate::{ChunkStat, Global, Mode, QuarantineRecord};
+use crate::{ChunkStat, Global, HealthChunk, Mode, QuarantineRecord};
 
 /// Current sidecar schema version. Version 2 added `schema_version` itself
 /// plus per-span attribution (`self_ns`, solver counters per span);
-/// consumers must tolerate its absence and treat such documents as v1.
-pub const SCHEMA_VERSION: u32 = 2;
+/// version 3 adds per-trace estimator-health objects, per-span rescue
+/// counters, and derived `mc.*` health gauges. Consumers must tolerate
+/// absent fields and treat such documents as the older version.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One span path's aggregate, with self/child-time and solver attribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +34,10 @@ pub struct SpanRow {
     pub lu_factorizations: u64,
     /// Cold solves charged to this span.
     pub cold_solves: u64,
+    /// Rescue-ladder entries charged to this span.
+    pub rescue_attempts: u64,
+    /// Rescue-ladder entries that converged, charged to this span.
+    pub rescue_hits: u64,
 }
 
 /// One log2 histogram bucket: counts values in `[2^log2, 2^(log2+1))`.
@@ -104,6 +110,39 @@ pub struct TracePoint {
     pub rel_err: f64,
 }
 
+/// Estimator-health diagnostics for one convergence trace, derived at
+/// snapshot time from the per-chunk trace moments and (for importance
+/// sampling) the [`crate::HealthChunk`] side channel.
+///
+/// The stall detector walks consecutive running points: with `n` samples a
+/// CI half-width should shrink like `1/sqrt(n)`, so a step from
+/// `(n0, h0)` to `(n1, h1)` counts as **stalled** when
+/// `h1 > h0 * sqrt(n0/n1) * 1.25` — the interval shrank at least 25%
+/// slower than root-n (or grew). A high `stall_ratio` means adding
+/// samples is no longer buying confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceHealth {
+    /// Whether importance-sampling weight moments were recorded (via
+    /// [`crate::record_chunk_health`]); the ESS fields are meaningful
+    /// only when set.
+    pub has_weights: bool,
+    /// Contributing (failing) samples across all chunks.
+    pub contributing: u64,
+    /// Effective sample size over contributing weights: `(Σw)²/Σw²`.
+    pub ess: f64,
+    /// `ess / contributing`; 1.0 when nothing contributed (a weightless
+    /// or empty estimator is vacuously healthy on this axis).
+    pub ess_fraction: f64,
+    /// Largest single weight's share of the total: `max(w)/Σw`.
+    pub max_weight_fraction: f64,
+    /// Consecutive-point comparisons made (`points - 1`).
+    pub steps: u64,
+    /// Comparisons where the CI half-width shrank slower than root-n.
+    pub stalled_steps: u64,
+    /// `stalled_steps / steps`; 0.0 when fewer than two points.
+    pub stall_ratio: f64,
+}
+
 /// One named convergence trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRow {
@@ -111,6 +150,8 @@ pub struct TraceRow {
     pub name: String,
     /// Running estimates in chunk order.
     pub points: Vec<TracePoint>,
+    /// Estimator-health diagnostics (`None` only for an empty trace).
+    pub health: Option<TraceHealth>,
 }
 
 /// Snapshot of all merged telemetry, as returned by [`crate::snapshot`].
@@ -139,6 +180,23 @@ pub struct Report {
 }
 
 pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
+    let traces: Vec<TraceRow> = g
+        .traces
+        .iter()
+        .map(|(name, chunks)| {
+            let points = running_points(chunks);
+            let health = trace_health(&points, g.health.get(name).map(Vec::as_slice));
+            TraceRow {
+                name: name.clone(),
+                points,
+                health,
+            }
+        })
+        .collect();
+    let mut gauges: Vec<(String, f64)> =
+        g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect();
+    gauges.extend(derived_health_gauges(&traces));
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
     Report {
         mode,
         clock,
@@ -155,6 +213,8 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
                 newton_iterations: s.solver.newton_iterations,
                 lu_factorizations: s.solver.lu_factorizations,
                 cold_solves: s.solver.cold_solves,
+                rescue_attempts: s.solver.rescue_attempts,
+                rescue_hits: s.solver.rescue_hits,
             })
             .collect(),
         counters: g
@@ -162,7 +222,7 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
             .iter()
             .map(|(&k, &v)| (k.to_string(), v))
             .collect(),
-        gauges: g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        gauges,
         histograms: g
             .hists
             .iter()
@@ -197,14 +257,7 @@ pub(crate) fn build(g: &Global, mode: Mode, clock: bool) -> Report {
                 g.solver.warm_hits as f64 / g.solver.warm_attempts as f64
             },
         },
-        traces: g
-            .traces
-            .iter()
-            .map(|(name, chunks)| TraceRow {
-                name: name.clone(),
-                points: running_points(chunks),
-            })
-            .collect(),
+        traces,
         quarantine: {
             let mut q = g.quarantine.clone();
             // Events arrive from worker threads in schedule order; sorting
@@ -257,6 +310,98 @@ fn running_points(chunks: &[ChunkStat]) -> Vec<TracePoint> {
             }
         })
         .collect()
+}
+
+/// Derives one trace's [`TraceHealth`] from its running points and (when
+/// present) its per-chunk weight moments. Chunk moments are folded in
+/// chunk-index order so the f64 sums are schedule-independent.
+fn trace_health(
+    points: &[TracePoint],
+    chunks: Option<&[(u64, HealthChunk)]>,
+) -> Option<TraceHealth> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut stalled = 0u64;
+    for w in points.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        if p0.samples == 0 || p1.samples == 0 {
+            continue;
+        }
+        let h0 = 1.96 * p0.std_err;
+        let h1 = 1.96 * p1.std_err;
+        let expected = h0 * (p0.samples as f64 / p1.samples as f64).sqrt();
+        if h1 > expected * 1.25 {
+            stalled += 1;
+        }
+    }
+    let steps = (points.len() - 1) as u64;
+    let mut health = TraceHealth {
+        has_weights: false,
+        contributing: 0,
+        ess: 0.0,
+        ess_fraction: 1.0,
+        max_weight_fraction: 0.0,
+        steps,
+        stalled_steps: stalled,
+        stall_ratio: if steps == 0 {
+            0.0
+        } else {
+            stalled as f64 / steps as f64
+        },
+    };
+    if let Some(chunks) = chunks {
+        let mut sorted: Vec<(u64, HealthChunk)> = chunks.to_vec();
+        sorted.sort_by_key(|&(chunk, _)| chunk);
+        let (mut fails, mut ws, mut wss, mut wmax) = (0u64, 0.0f64, 0.0f64, 0.0f64);
+        for (_, h) in &sorted {
+            fails += h.fails;
+            ws += h.weight_sum;
+            wss += h.weight_sq_sum;
+            wmax = wmax.max(h.weight_max);
+        }
+        health.has_weights = true;
+        health.contributing = fails;
+        health.ess = if wss > 0.0 { ws * ws / wss } else { 0.0 };
+        health.ess_fraction = if fails == 0 {
+            1.0
+        } else {
+            health.ess / fails as f64
+        };
+        health.max_weight_fraction = if ws > 0.0 { wmax / ws } else { 0.0 };
+    }
+    Some(health)
+}
+
+/// The run-level `mc.*` health gauges derived from per-trace health:
+/// worst case across traces — minimum ESS / ESS fraction over weighted
+/// traces, maximum weight concentration and stall ratio over all traces.
+/// Derived here (not `gauge_set` from workers) because gauges merge by
+/// maximum, which would invert the min-ESS semantics.
+fn derived_health_gauges(traces: &[TraceRow]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let healths: Vec<&TraceHealth> = traces.iter().filter_map(|t| t.health.as_ref()).collect();
+    if healths.is_empty() {
+        return out;
+    }
+    let weighted: Vec<&&TraceHealth> = healths.iter().filter(|h| h.has_weights).collect();
+    if !weighted.is_empty() {
+        let ess = weighted.iter().map(|h| h.ess).fold(f64::INFINITY, f64::min);
+        let essf = weighted
+            .iter()
+            .map(|h| h.ess_fraction)
+            .fold(f64::INFINITY, f64::min);
+        let wf = weighted
+            .iter()
+            .map(|h| h.max_weight_fraction)
+            .fold(0.0, f64::max);
+        out.push(("mc.ess".to_string(), ess));
+        out.push(("mc.ess_fraction".to_string(), essf));
+        out.push(("mc.max_weight_fraction".to_string(), wf));
+    }
+    let stall = healths.iter().map(|h| h.stall_ratio).fold(0.0, f64::max);
+    out.push(("mc.stall_ratio".to_string(), stall));
+    out
 }
 
 impl Report {
@@ -323,7 +468,7 @@ impl Report {
     /// JSON tree.
     pub fn to_value(&self, id: &str) -> Value {
         let mut doc = vec![
-            ("schema", Value::Str("pvtm-telemetry/2".into())),
+            ("schema", Value::Str("pvtm-telemetry/3".into())),
             ("schema_version", Value::Num(f64::from(SCHEMA_VERSION))),
             ("id", Value::Str(id.into())),
             ("mode", Value::Str(self.mode.as_str().into())),
@@ -386,7 +531,7 @@ impl Report {
                     self.spans
                         .iter()
                         .map(|s| {
-                            obj(vec![
+                            let mut fields = vec![
                                 ("path", Value::Str(s.path.clone())),
                                 ("count", Value::Num(s.count as f64)),
                                 ("total_ns", Value::Num(s.total_ns as f64)),
@@ -403,7 +548,17 @@ impl Report {
                                 ("newton_iterations", Value::Num(s.newton_iterations as f64)),
                                 ("lu_factorizations", Value::Num(s.lu_factorizations as f64)),
                                 ("cold_solves", Value::Num(s.cold_solves as f64)),
-                            ])
+                            ];
+                            // Like the solver section: rescue keys appear
+                            // only when the ladder ran under this span.
+                            if s.rescue_attempts > 0 {
+                                fields.push((
+                                    "rescue_attempts",
+                                    Value::Num(s.rescue_attempts as f64),
+                                ));
+                                fields.push(("rescue_hits", Value::Num(s.rescue_hits as f64)));
+                            }
+                            obj(fields)
                         })
                         .collect(),
                 ),
@@ -414,7 +569,7 @@ impl Report {
                     self.traces
                         .iter()
                         .map(|t| {
-                            obj(vec![
+                            let mut fields = vec![
                                 ("name", Value::Str(t.name.clone())),
                                 (
                                     "points",
@@ -433,7 +588,24 @@ impl Report {
                                             .collect(),
                                     ),
                                 ),
-                            ])
+                            ];
+                            if let Some(h) = &t.health {
+                                let mut hv = Vec::new();
+                                if h.has_weights {
+                                    hv.push(("contributing", Value::Num(h.contributing as f64)));
+                                    hv.push(("ess", Value::Num(h.ess)));
+                                    hv.push(("ess_fraction", Value::Num(h.ess_fraction)));
+                                    hv.push((
+                                        "max_weight_fraction",
+                                        Value::Num(h.max_weight_fraction),
+                                    ));
+                                }
+                                hv.push(("steps", Value::Num(h.steps as f64)));
+                                hv.push(("stalled_steps", Value::Num(h.stalled_steps as f64)));
+                                hv.push(("stall_ratio", Value::Num(h.stall_ratio)));
+                                fields.push(("health", obj(hv)));
+                            }
+                            obj(fields)
                         })
                         .collect(),
                 ),
@@ -537,7 +709,7 @@ mod tests {
         let r = crate::snapshot();
         let text = r.to_json_pretty("fig");
         let v = json::parse(&text).unwrap();
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("pvtm-telemetry/2"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pvtm-telemetry/3"));
         assert_eq!(
             v.get("schema_version").unwrap().as_u64(),
             Some(u64::from(crate::SCHEMA_VERSION))

@@ -251,6 +251,8 @@ mod tests {
                     newton_iterations: 0,
                     lu_factorizations: 0,
                     cold_solves: 0,
+                    rescue_attempts: 0,
+                    rescue_hits: 0,
                 },
                 crate::SpanRow {
                     path: "par/chunk".into(),
@@ -262,6 +264,8 @@ mod tests {
                     newton_iterations: 0,
                     lu_factorizations: 0,
                     cold_solves: 0,
+                    rescue_attempts: 0,
+                    rescue_hits: 0,
                 },
             ],
             counters: vec![],

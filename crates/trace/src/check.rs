@@ -205,7 +205,9 @@ mod tests {
                 ("cold_solves".to_string(), 2),
             ]),
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             spans: Vec::new(),
+            traces: Vec::new(),
         }
     }
 

@@ -180,6 +180,7 @@ mod tests {
             schema_version: 2,
             solver: BTreeMap::from([("solves".to_string(), 100), ("cold_solves".to_string(), 4)]),
             counters: BTreeMap::from([("mc.samples".to_string(), 4096)]),
+            gauges: BTreeMap::new(),
             spans: vec![Span {
                 path: "fig".into(),
                 count: 1,
@@ -189,7 +190,10 @@ mod tests {
                 newton_iterations: 300,
                 lu_factorizations: 300,
                 cold_solves: 4,
+                rescue_attempts: 0,
+                rescue_hits: 0,
             }],
+            traces: Vec::new(),
         }
     }
 

@@ -1,0 +1,501 @@
+//! `pvtm-trace health` — gate estimator-health diagnostics against
+//! `health-budgets.json`.
+//!
+//! Where `check` ratchets *work* (how many solves a figure spends),
+//! `health` ratchets *confidence* (whether the estimate those solves buy
+//! can be trusted). The inputs are the v3 sidecar's per-trace health
+//! block and the derived `mc.*` gauges, all of which are byte-identical
+//! across runs under `PVTM_TELEMETRY_CLOCK=off`, so this gate has the
+//! same zero-flake property as the perf budgets.
+//!
+//! A budget entry is four thresholds:
+//!
+//! - `min_ess_fraction` — floor on effective-sample-size / contributing
+//!   samples; falling below it means importance weights are carrying the
+//!   estimate on too few shoulders (`LOW_ESS`);
+//! - `max_weight_fraction` — ceiling on any single weight's share of the
+//!   total; exceeding it means one sample dominates (`WEIGHT_DEGENERATE`);
+//! - `max_stall_ratio` — ceiling on the fraction of convergence steps
+//!   where the CI half-width shrank slower than root-n (`STALLED`);
+//! - `max_quarantine_ci_share` — ceiling on the quarantine bias band as a
+//!   share of the CI half-width (`QUARANTINE_BIASED`).
+//!
+//! Figures resolve their entry by id, falling back to `"default"`; the
+//! ratchet (`--update-budgets`) rewrites only per-figure entries, leaving
+//! `"default"` as the hand-maintained floor for new figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pvtm_telemetry::json::{self, Value};
+
+use crate::sidecar::Sidecar;
+
+/// Name of the fallback budget entry.
+pub const DEFAULT_ENTRY: &str = "default";
+
+/// Budget-file rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthBudgetError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for HealthBudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for HealthBudgetError {}
+
+/// One figure's health thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthEntry {
+    /// Floor on per-trace `ess_fraction` (weighted traces only).
+    pub min_ess_fraction: f64,
+    /// Ceiling on per-trace `max_weight_fraction` (weighted traces only).
+    pub max_weight_fraction: f64,
+    /// Ceiling on per-trace `stall_ratio`.
+    pub max_stall_ratio: f64,
+    /// Ceiling on the `mc.quarantine_ci_share` gauge.
+    pub max_quarantine_ci_share: f64,
+}
+
+impl Default for HealthEntry {
+    /// Permissive defaults: everything passes until a budget tightens it.
+    fn default() -> Self {
+        HealthEntry {
+            min_ess_fraction: 0.0,
+            max_weight_fraction: 1.0,
+            max_stall_ratio: 1.0,
+            max_quarantine_ci_share: 1.0,
+        }
+    }
+}
+
+impl HealthEntry {
+    fn from_value(v: &Value) -> HealthEntry {
+        let f = |key: &str, fallback: f64| v.get(key).and_then(Value::as_f64).unwrap_or(fallback);
+        let d = HealthEntry::default();
+        HealthEntry {
+            min_ess_fraction: f("min_ess_fraction", d.min_ess_fraction),
+            max_weight_fraction: f("max_weight_fraction", d.max_weight_fraction),
+            max_stall_ratio: f("max_stall_ratio", d.max_stall_ratio),
+            max_quarantine_ci_share: f("max_quarantine_ci_share", d.max_quarantine_ci_share),
+        }
+    }
+
+    fn to_value(self) -> Value {
+        json::obj(vec![
+            ("min_ess_fraction", Value::Num(self.min_ess_fraction)),
+            ("max_weight_fraction", Value::Num(self.max_weight_fraction)),
+            ("max_stall_ratio", Value::Num(self.max_stall_ratio)),
+            (
+                "max_quarantine_ci_share",
+                Value::Num(self.max_quarantine_ci_share),
+            ),
+        ])
+    }
+}
+
+/// Parsed `health-budgets.json`: entry name (`"default"` or a figure id)
+/// → thresholds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthBudgets {
+    /// Name-sorted threshold entries.
+    pub entries: BTreeMap<String, HealthEntry>,
+}
+
+impl HealthBudgets {
+    /// Parses budget-file text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or the wrong `schema` marker.
+    pub fn parse(text: &str) -> Result<HealthBudgets, HealthBudgetError> {
+        let doc = json::parse(text).map_err(|e| HealthBudgetError {
+            message: format!("malformed health-budgets JSON: {e}"),
+        })?;
+        if doc.get("schema").and_then(Value::as_str) != Some("pvtm-health-budgets/1") {
+            return Err(HealthBudgetError {
+                message: "health-budgets file must have schema \"pvtm-health-budgets/1\"".into(),
+            });
+        }
+        let mut entries = BTreeMap::new();
+        if let Some(Value::Obj(members)) = doc.get("budgets") {
+            for (name, v) in members {
+                entries.insert(name.clone(), HealthEntry::from_value(v));
+            }
+        }
+        Ok(HealthBudgets { entries })
+    }
+
+    /// Renders the canonical pretty JSON form.
+    pub fn to_json_pretty(&self) -> String {
+        let members: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.to_value()))
+            .collect();
+        let mut s = json::obj(vec![
+            ("schema", Value::Str("pvtm-health-budgets/1".into())),
+            ("budgets", Value::Obj(members)),
+        ])
+        .to_json_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// The thresholds applying to `figure`: the figure's own entry, else
+    /// `"default"`, else `None` (which the gate treats as a violation).
+    pub fn entry_for<'a>(&self, figure: &'a str) -> Option<(&'a str, HealthEntry)> {
+        if let Some(e) = self.entries.get(figure) {
+            return Some((figure, *e));
+        }
+        self.entries.get(DEFAULT_ENTRY).map(|e| (DEFAULT_ENTRY, *e))
+    }
+}
+
+/// Result of the health gate: the confidence ledger plus pass/fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthOutcome {
+    /// The confidence ledger, one line per trace/metric finding.
+    pub text: String,
+    /// Hard failures: threshold crossed, or no budget entry at all.
+    pub violations: usize,
+    /// Advisory notes (pre-v3 sidecars with no health data).
+    pub notes: usize,
+}
+
+impl HealthOutcome {
+    /// Whether the gate fails.
+    pub fn failed(&self) -> bool {
+        self.violations > 0
+    }
+}
+
+fn verdict(out: &mut HealthOutcome, bad: bool, id: &str, tag: &str, detail: String) {
+    if bad {
+        out.violations += 1;
+        out.text.push_str(&format!("FAIL {id}: {tag} — {detail}\n"));
+    } else {
+        out.text.push_str(&format!("ok   {id}: {detail}\n"));
+    }
+}
+
+/// Checks each sidecar's estimator health against its figure's budget
+/// entry, rendering the per-figure confidence ledger.
+pub fn health_check(budgets: &HealthBudgets, sidecars: &[Sidecar]) -> HealthOutcome {
+    let mut out = HealthOutcome {
+        text: String::new(),
+        violations: 0,
+        notes: 0,
+    };
+    for sc in sidecars {
+        let Some((source, entry)) = budgets.entry_for(&sc.id) else {
+            out.violations += 1;
+            out.text.push_str(&format!(
+                "FAIL {}: no budget entry and no \"default\" — record one with --update-budgets\n",
+                sc.id
+            ));
+            continue;
+        };
+        out.text
+            .push_str(&format!("== {} (thresholds from {:?}) ==\n", sc.id, source));
+        let with_health: Vec<_> = sc
+            .traces
+            .iter()
+            .filter_map(|t| t.health.map(|h| (t.name.as_str(), h)))
+            .collect();
+        if with_health.is_empty() {
+            out.notes += 1;
+            out.text.push_str(&format!(
+                "note {}: no estimator-health data (pre-v3 sidecar, or no MC traces)\n",
+                sc.id
+            ));
+        }
+        for (name, h) in with_health {
+            if h.has_weights {
+                verdict(
+                    &mut out,
+                    h.ess_fraction < entry.min_ess_fraction,
+                    &sc.id,
+                    "LOW_ESS",
+                    format!(
+                        "{name}: ess_fraction {:.4} (floor {:.4}, ess {:.1} of {} contributing)",
+                        h.ess_fraction, entry.min_ess_fraction, h.ess, h.contributing
+                    ),
+                );
+                verdict(
+                    &mut out,
+                    h.max_weight_fraction > entry.max_weight_fraction,
+                    &sc.id,
+                    "WEIGHT_DEGENERATE",
+                    format!(
+                        "{name}: max_weight_fraction {:.4} (ceiling {:.4})",
+                        h.max_weight_fraction, entry.max_weight_fraction
+                    ),
+                );
+            }
+            verdict(
+                &mut out,
+                h.stall_ratio > entry.max_stall_ratio,
+                &sc.id,
+                "STALLED",
+                format!(
+                    "{name}: stall_ratio {:.4} (ceiling {:.4}, {}/{} steps)",
+                    h.stall_ratio, entry.max_stall_ratio, h.stalled_steps, h.steps
+                ),
+            );
+        }
+        if let Some(share) = sc.gauge("mc.quarantine_ci_share") {
+            verdict(
+                &mut out,
+                share > entry.max_quarantine_ci_share,
+                &sc.id,
+                "QUARANTINE_BIASED",
+                format!(
+                    "quarantine_ci_share {:.4} (ceiling {:.4})",
+                    share, entry.max_quarantine_ci_share
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Rounds down to 4 decimals — headroom direction for a floor threshold.
+fn floor4(x: f64) -> f64 {
+    (x * 1e4).floor() / 1e4
+}
+
+/// Rounds up to 4 decimals — headroom direction for a ceiling threshold.
+fn ceil4(x: f64) -> f64 {
+    (x * 1e4).ceil() / 1e4
+}
+
+/// Returns `budgets` with each sidecar's figure entry replaced by its
+/// observed health, rounded in the *permissive* direction (floors down,
+/// ceilings up) so a byte-identical rerun passes exactly. The `"default"`
+/// entry is never rewritten.
+pub fn update_health_budgets(budgets: &HealthBudgets, sidecars: &[Sidecar]) -> HealthBudgets {
+    let mut next = budgets.clone();
+    for sc in sidecars {
+        let mut e = HealthEntry {
+            min_ess_fraction: 1.0,
+            max_weight_fraction: 0.0,
+            max_stall_ratio: 0.0,
+            max_quarantine_ci_share: sc.gauge("mc.quarantine_ci_share").unwrap_or(0.0),
+        };
+        let mut weighted = false;
+        for h in sc.traces.iter().filter_map(|t| t.health) {
+            if h.has_weights {
+                weighted = true;
+                e.min_ess_fraction = e.min_ess_fraction.min(h.ess_fraction);
+                e.max_weight_fraction = e.max_weight_fraction.max(h.max_weight_fraction);
+            }
+            e.max_stall_ratio = e.max_stall_ratio.max(h.stall_ratio);
+        }
+        if !weighted {
+            // No IS traces: keep the ESS axes permissive rather than
+            // recording the vacuous extremes of an empty fold.
+            e.min_ess_fraction = 0.0;
+            e.max_weight_fraction = 1.0;
+        }
+        e.min_ess_fraction = floor4(e.min_ess_fraction);
+        e.max_weight_fraction = ceil4(e.max_weight_fraction);
+        e.max_stall_ratio = ceil4(e.max_stall_ratio);
+        e.max_quarantine_ci_share = ceil4(e.max_quarantine_ci_share);
+        next.entries.insert(sc.id.clone(), e);
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sidecar::{Trace, TraceHealth, TracePoint};
+    use std::collections::BTreeMap;
+
+    fn health(ess_fraction: f64, max_weight_fraction: f64, stall_ratio: f64) -> TraceHealth {
+        TraceHealth {
+            has_weights: true,
+            contributing: 1000,
+            ess: ess_fraction * 1000.0,
+            ess_fraction,
+            max_weight_fraction,
+            steps: 4,
+            stalled_steps: (stall_ratio * 4.0).round() as u64,
+            stall_ratio,
+        }
+    }
+
+    fn sidecar(id: &str, h: Option<TraceHealth>) -> Sidecar {
+        Sidecar {
+            id: id.into(),
+            mode: "full".into(),
+            clock: false,
+            schema_version: 3,
+            solver: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            spans: Vec::new(),
+            traces: vec![Trace {
+                name: format!("{id}.mc"),
+                points: vec![TracePoint {
+                    chunk: 0,
+                    samples: 4096,
+                    value: 1e-4,
+                    std_err: 1e-5,
+                }],
+                health: h,
+            }],
+        }
+    }
+
+    fn budgets(entry: &str, e: HealthEntry) -> HealthBudgets {
+        HealthBudgets {
+            entries: BTreeMap::from([(entry.to_string(), e)]),
+        }
+    }
+
+    #[test]
+    fn budgets_round_trip_through_json() {
+        let b = update_health_budgets(
+            &HealthBudgets::default(),
+            &[sidecar("fig2a", Some(health(0.8215, 0.031, 0.25)))],
+        );
+        let parsed = HealthBudgets::parse(&b.to_json_pretty()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries["fig2a"].min_ess_fraction, 0.8215);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(HealthBudgets::parse(r#"{"schema": "nope", "budgets": {}}"#).is_err());
+    }
+
+    #[test]
+    fn healthy_trace_passes_against_its_ratchet() {
+        let sc = sidecar("fig2a", Some(health(0.82, 0.03, 0.25)));
+        let b = update_health_budgets(&HealthBudgets::default(), std::slice::from_ref(&sc));
+        let out = health_check(&b, &[sc]);
+        assert!(!out.failed(), "{}", out.text);
+        assert!(out.text.contains("ess_fraction 0.8200"));
+    }
+
+    #[test]
+    fn low_ess_fails() {
+        let b = budgets(
+            "fig2a",
+            HealthEntry {
+                min_ess_fraction: 0.5,
+                ..HealthEntry::default()
+            },
+        );
+        let out = health_check(&b, &[sidecar("fig2a", Some(health(0.04, 0.9, 0.0)))]);
+        assert!(out.failed());
+        assert!(out.text.contains("LOW_ESS"), "{}", out.text);
+    }
+
+    #[test]
+    fn weight_degeneracy_and_stall_fail() {
+        let b = budgets(
+            "fig2a",
+            HealthEntry {
+                max_weight_fraction: 0.1,
+                max_stall_ratio: 0.3,
+                ..HealthEntry::default()
+            },
+        );
+        let out = health_check(&b, &[sidecar("fig2a", Some(health(0.9, 0.8, 0.75)))]);
+        assert_eq!(out.violations, 2);
+        assert!(out.text.contains("WEIGHT_DEGENERATE"));
+        assert!(out.text.contains("STALLED"));
+    }
+
+    #[test]
+    fn quarantine_ci_share_gauge_is_gated() {
+        let b = budgets(
+            "fig2a",
+            HealthEntry {
+                max_quarantine_ci_share: 0.05,
+                ..HealthEntry::default()
+            },
+        );
+        let mut sc = sidecar("fig2a", Some(health(0.9, 0.02, 0.0)));
+        sc.gauges.insert("mc.quarantine_ci_share".into(), 0.4);
+        let out = health_check(&b, &[sc]);
+        assert!(out.failed());
+        assert!(out.text.contains("QUARANTINE_BIASED"));
+    }
+
+    #[test]
+    fn default_entry_covers_unlisted_figures() {
+        let b = budgets(
+            DEFAULT_ENTRY,
+            HealthEntry {
+                min_ess_fraction: 0.1,
+                ..HealthEntry::default()
+            },
+        );
+        let out = health_check(&b, &[sidecar("fig9", Some(health(0.9, 0.01, 0.0)))]);
+        assert!(!out.failed(), "{}", out.text);
+        assert!(out.text.contains("thresholds from \"default\""));
+    }
+
+    #[test]
+    fn missing_entry_without_default_fails() {
+        let out = health_check(
+            &HealthBudgets::default(),
+            &[sidecar("fig9", Some(health(0.9, 0.01, 0.0)))],
+        );
+        assert!(out.failed());
+        assert!(out.text.contains("no budget entry"));
+    }
+
+    #[test]
+    fn pre_v3_sidecar_is_a_note_not_a_failure() {
+        let b = budgets(DEFAULT_ENTRY, HealthEntry::default());
+        let out = health_check(&b, &[sidecar("old", None)]);
+        assert!(!out.failed());
+        assert_eq!(out.notes, 1);
+        assert!(out.text.contains("no estimator-health data"));
+    }
+
+    #[test]
+    fn unweighted_trace_skips_ess_axes() {
+        let mut h = health(0.0, 0.0, 0.0);
+        h.has_weights = false;
+        let b = budgets(
+            "fig2a",
+            HealthEntry {
+                min_ess_fraction: 0.9,
+                ..HealthEntry::default()
+            },
+        );
+        let out = health_check(&b, &[sidecar("fig2a", Some(h))]);
+        assert!(!out.failed(), "{}", out.text);
+        assert!(!out.text.contains("LOW_ESS"));
+    }
+
+    #[test]
+    fn update_preserves_default_and_rounds_permissively() {
+        let b0 = budgets(
+            DEFAULT_ENTRY,
+            HealthEntry {
+                min_ess_fraction: 0.2,
+                ..HealthEntry::default()
+            },
+        );
+        let next = update_health_budgets(
+            &b0,
+            &[sidecar("fig2a", Some(health(0.82159, 0.03001, 0.25)))],
+        );
+        assert_eq!(next.entries[DEFAULT_ENTRY].min_ess_fraction, 0.2);
+        let e = next.entries["fig2a"];
+        assert_eq!(e.min_ess_fraction, 0.8215, "floor rounds down");
+        assert_eq!(e.max_weight_fraction, 0.0301, "ceiling rounds up");
+    }
+}

@@ -9,7 +9,13 @@
 //! - [`diff`] compares two sidecars — work counters exactly, wall-clock
 //!   with a noise tolerance;
 //! - [`check`] gates a sidecar against checked-in `perf-budgets.json`
-//!   ceilings on the deterministic work counters.
+//!   ceilings on the deterministic work counters;
+//! - [`health`] gates the v3 sidecar's estimator-health diagnostics
+//!   (ESS fraction, weight degeneracy, CI stalls, quarantine bias)
+//!   against checked-in `health-budgets.json` thresholds;
+//! - [`tail`] parses the `results/<id>.events.jsonl` run journal — live
+//!   or finalized — into a progress snapshot, and doubles as the
+//!   `pvtm-events/1` schema validator in CI.
 //!
 //! The design point carried through all three: **wall-clock is advisory,
 //! work counters are the contract.** With `PVTM_TELEMETRY_CLOCK=off` the
@@ -22,10 +28,14 @@
 
 pub mod check;
 pub mod diff;
+pub mod health;
 pub mod report;
 pub mod sidecar;
+pub mod tail;
 
 pub use check::{check, update_budgets, Budgets, CheckOutcome};
 pub use diff::{diff, DiffOutcome};
+pub use health::{health_check, update_health_budgets, HealthBudgets, HealthOutcome};
 pub use report::{folded_stacks, hot_span_table};
 pub use sidecar::{Sidecar, SidecarError, Span};
+pub use tail::{snapshot, Journal, Snapshot};

@@ -4,19 +4,26 @@
 //! pvtm-trace report <sidecar.json> [--folded] [--top N]
 //! pvtm-trace diff   <old.json> <new.json> [--tolerance F]
 //! pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]
+//! pvtm-trace health <budgets.json> <sidecar.json>... [--update-budgets]
+//! pvtm-trace tail   <events.jsonl> [--follow [--interval S]]
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (budget exceeded / work-counter
-//! regression), 2 usage or I/O error.
+//! regression / estimator-health violation), 2 usage or I/O error.
 
 use std::process::ExitCode;
 
-use pvtm_trace::{check, diff, folded_stacks, hot_span_table, update_budgets, Budgets, Sidecar};
+use pvtm_trace::{
+    check, diff, folded_stacks, health_check, hot_span_table, snapshot, update_budgets,
+    update_health_budgets, Budgets, HealthBudgets, Journal, Sidecar,
+};
 
 const USAGE: &str = "usage:
   pvtm-trace report <sidecar.json> [--folded] [--top N]
   pvtm-trace diff   <old.json> <new.json> [--tolerance F]
-  pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]";
+  pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]
+  pvtm-trace health <budgets.json> <sidecar.json>... [--update-budgets]
+  pvtm-trace tail   <events.jsonl> [--follow [--interval S]]";
 
 const EXIT_GATE: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -40,6 +47,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "health" => cmd_health(&args[1..]),
+        "tail" => cmd_tail(&args[1..]),
         other => usage(&format!("unknown subcommand {other:?}")),
     }
 }
@@ -172,5 +181,143 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         );
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_health(args: &[String]) -> ExitCode {
+    let mut update = false;
+    let mut paths = Vec::new();
+    for a in args {
+        if a == "--update-budgets" {
+            update = true;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [budget_path, sidecar_paths @ ..] = paths.as_slice() else {
+        return usage("health needs a budgets file");
+    };
+    if sidecar_paths.is_empty() {
+        return usage("health needs at least one sidecar");
+    }
+    let budgets = match std::fs::read_to_string(budget_path) {
+        Ok(text) => match HealthBudgets::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return usage(&format!("{budget_path}: {e}")),
+        },
+        Err(e) if update => {
+            eprintln!("pvtm-trace health: starting fresh budgets ({budget_path}: {e})");
+            HealthBudgets::default()
+        }
+        Err(e) => return usage(&format!("cannot read {budget_path}: {e}")),
+    };
+    let mut sidecars = Vec::new();
+    for p in sidecar_paths {
+        match read_sidecar(p) {
+            Ok(sc) => sidecars.push(sc),
+            Err(e) => return usage(&e),
+        }
+    }
+
+    if update {
+        let next = update_health_budgets(&budgets, &sidecars);
+        if let Err(e) = std::fs::write(budget_path, next.to_json_pretty()) {
+            return usage(&format!("cannot write {budget_path}: {e}"));
+        }
+        println!(
+            "pvtm-trace health: recorded thresholds for {} figure(s) in {budget_path}",
+            sidecars.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let out = health_check(&budgets, &sidecars);
+    print!("{}", out.text);
+    if out.failed() {
+        eprintln!("pvtm-trace health: FAIL — {} violation(s)", out.violations);
+        ExitCode::from(EXIT_GATE)
+    } else {
+        println!(
+            "pvtm-trace health: OK — {} figure(s) within confidence thresholds",
+            sidecars.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_tail(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut follow = false;
+    let mut interval = 2.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--interval" => match it.next().map(|s| s.parse()) {
+                Some(Ok(s)) if s > 0.0 => interval = s,
+                _ => return usage("--interval needs a positive number of seconds"),
+            },
+            _ if path.is_none() => path = Some(a.clone()),
+            _ => return usage("tail takes one journal"),
+        }
+    }
+    let Some(path) = path else {
+        return usage("tail needs an events.jsonl path");
+    };
+
+    let read = |strict: bool| -> Result<pvtm_trace::Snapshot, String> {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        match Journal::parse(&text) {
+            Ok(j) => Ok(snapshot(&j)),
+            // While following, a mid-rewrite read can be transiently
+            // malformed; report it and try again next tick.
+            Err(e) if !strict => Err(format!("{path}: {e} (retrying)")),
+            Err(e) => Err(format!("{path}: {e}")),
+        }
+    };
+
+    if !follow {
+        // One-shot mode is also the CI schema validator: a contract
+        // violation is a gate failure, not a usage error.
+        return match read(true) {
+            Ok(s) => {
+                print!("{}", s.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pvtm-trace tail: FAIL — {e}");
+                ExitCode::from(EXIT_GATE)
+            }
+        };
+    }
+
+    // The telemetry stopwatch honours PVTM_TELEMETRY_CLOCK=off by reading
+    // 0.0, which simply suppresses the (inherently wall-clock) ETA line.
+    let watch = pvtm_telemetry::clock::Stopwatch::started();
+    let mut last: Option<String> = None;
+    loop {
+        match read(false) {
+            Ok(s) => {
+                let mut text = s.render();
+                let (done, total) = s.work();
+                let elapsed = watch.elapsed_secs();
+                if !s.finalized && done > 0 && total > done && elapsed > 0.0 {
+                    // Work-based ETA: chunks are equal-sized by
+                    // construction, so elapsed/done extrapolates.
+                    let eta = elapsed * (total - done) as f64 / done as f64;
+                    text.push_str(&format!("  eta: ~{eta:.0} s\n"));
+                }
+                if last.as_deref() != Some(text.as_str()) {
+                    print!("{text}");
+                    last = Some(text);
+                }
+                if s.finalized {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => eprintln!("pvtm-trace tail: {e}"),
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
 }

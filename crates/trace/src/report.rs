@@ -42,12 +42,12 @@ pub fn hot_span_table(sc: &Sidecar, top: usize) -> String {
         sc.id, sc.mode, sc.schema_version, rank
     ));
     out.push_str(&format!(
-        "{:<40} {:>8} {:>12} {:>12} {:>9} {:>9} {:>7}\n",
-        "span", "count", "total ms", "self ms", "solves", "newton", "cold"
+        "{:<40} {:>8} {:>12} {:>12} {:>9} {:>9} {:>7} {:>8}\n",
+        "span", "count", "total ms", "self ms", "solves", "newton", "cold", "rescue"
     ));
     for s in sorted_spans(sc).into_iter().take(top) {
         out.push_str(&format!(
-            "{:<40} {:>8} {:>12.3} {:>12.3} {:>9} {:>9} {:>7}\n",
+            "{:<40} {:>8} {:>12.3} {:>12.3} {:>9} {:>9} {:>7} {:>8}\n",
             s.path,
             s.count,
             s.total_ns as f64 / 1e6,
@@ -55,6 +55,9 @@ pub fn hot_span_table(sc: &Sidecar, top: usize) -> String {
             s.solves,
             s.newton_iterations,
             s.cold_solves,
+            // hits/attempts, like the producer's summary line — a span
+            // with many attempts and few hits is quarantining samples.
+            format!("{}/{}", s.rescue_hits, s.rescue_attempts),
         ));
     }
     if sc.spans.is_empty() {
@@ -92,6 +95,8 @@ mod tests {
             newton_iterations: newton,
             lu_factorizations: 0,
             cold_solves: 0,
+            rescue_attempts: 0,
+            rescue_hits: 0,
         }
     }
 
@@ -103,8 +108,19 @@ mod tests {
             schema_version: 2,
             solver: Default::default(),
             counters: Default::default(),
+            gauges: Default::default(),
             spans,
+            traces: Vec::new(),
         }
+    }
+
+    #[test]
+    fn table_shows_rescue_hits_over_attempts() {
+        let mut s = span("fig/mc.chunk", 10, 100);
+        s.rescue_attempts = 4;
+        s.rescue_hits = 3;
+        let t = hot_span_table(&sidecar(true, vec![s]), 10);
+        assert!(t.contains("3/4"), "rescue column missing:\n{t}");
     }
 
     #[test]

@@ -53,6 +53,56 @@ pub struct Span {
     pub lu_factorizations: u64,
     /// Cold solves attributed to this span.
     pub cold_solves: u64,
+    /// Rescue-ladder entries attributed to this span (0 pre-v3, and in v3
+    /// sidecars of rescue-free runs, which omit the field).
+    pub rescue_attempts: u64,
+    /// Rescue-ladder entries that converged, attributed to this span.
+    pub rescue_hits: u64,
+}
+
+/// One convergence-trace point read back from a sidecar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Chunk index.
+    pub chunk: u64,
+    /// Cumulative samples through this chunk.
+    pub samples: u64,
+    /// Running estimate.
+    pub value: f64,
+    /// Running standard error.
+    pub std_err: f64,
+}
+
+/// Estimator-health diagnostics of one trace (v3 sidecars; `None` before).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceHealth {
+    /// Whether the ESS fields were present (importance-sampling runs).
+    pub has_weights: bool,
+    /// Contributing (failing) samples.
+    pub contributing: u64,
+    /// Effective sample size over contributing weights.
+    pub ess: f64,
+    /// `ess / contributing` (1.0 when nothing contributed).
+    pub ess_fraction: f64,
+    /// Largest single weight's share of the weight total.
+    pub max_weight_fraction: f64,
+    /// Consecutive-point comparisons made.
+    pub steps: u64,
+    /// Comparisons where the CI half-width shrank slower than root-n.
+    pub stalled_steps: u64,
+    /// `stalled_steps / steps` (0.0 with fewer than two points).
+    pub stall_ratio: f64,
+}
+
+/// One named convergence trace read back from a sidecar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Trace label.
+    pub name: String,
+    /// Running estimates in sidecar (chunk) order.
+    pub points: Vec<TracePoint>,
+    /// Health diagnostics when the producer recorded them (v3+).
+    pub health: Option<TraceHealth>,
 }
 
 /// A parsed telemetry sidecar — just the pieces the consumers need.
@@ -73,8 +123,12 @@ pub struct Sidecar {
     pub solver: BTreeMap<String, u64>,
     /// Named event counters.
     pub counters: BTreeMap<String, u64>,
+    /// Named gauges (v3 sidecars include the derived `mc.*` health gauges).
+    pub gauges: BTreeMap<String, f64>,
     /// Span aggregates in sidecar order (path order, as written).
     pub spans: Vec<Span>,
+    /// Convergence traces in sidecar order.
+    pub traces: Vec<Trace>,
 }
 
 fn get_u64(v: &Value, key: &str) -> u64 {
@@ -124,6 +178,15 @@ impl Sidecar {
             }
         }
 
+        let mut gauges = BTreeMap::new();
+        if let Some(Value::Obj(members)) = doc.get("gauges") {
+            for (k, v) in members {
+                if let Some(x) = v.as_f64() {
+                    gauges.insert(k.clone(), x);
+                }
+            }
+        }
+
         let spans = doc
             .get("spans")
             .and_then(Value::as_array)
@@ -142,6 +205,53 @@ impl Sidecar {
                     newton_iterations: get_u64(s, "newton_iterations"),
                     lu_factorizations: get_u64(s, "lu_factorizations"),
                     cold_solves: get_u64(s, "cold_solves"),
+                    rescue_attempts: get_u64(s, "rescue_attempts"),
+                    rescue_hits: get_u64(s, "rescue_hits"),
+                })
+            })
+            .collect();
+
+        let traces = doc
+            .get("traces")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|t| {
+                let name = t.get("name")?.as_str()?.to_string();
+                let points = t
+                    .get("points")
+                    .and_then(Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|p| {
+                        Some(TracePoint {
+                            chunk: get_u64(p, "chunk"),
+                            samples: get_u64(p, "samples"),
+                            value: p.get("value")?.as_f64()?,
+                            std_err: p.get("std_err").and_then(Value::as_f64).unwrap_or(0.0),
+                        })
+                    })
+                    .collect();
+                let health = t.get("health").map(|h| {
+                    let has_weights = h.get("ess").is_some();
+                    TraceHealth {
+                        has_weights,
+                        contributing: get_u64(h, "contributing"),
+                        ess: h.get("ess").and_then(Value::as_f64).unwrap_or(0.0),
+                        ess_fraction: h.get("ess_fraction").and_then(Value::as_f64).unwrap_or(1.0),
+                        max_weight_fraction: h
+                            .get("max_weight_fraction")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0),
+                        steps: get_u64(h, "steps"),
+                        stalled_steps: get_u64(h, "stalled_steps"),
+                        stall_ratio: h.get("stall_ratio").and_then(Value::as_f64).unwrap_or(0.0),
+                    }
+                });
+                Some(Trace {
+                    name,
+                    points,
+                    health,
                 })
             })
             .collect();
@@ -161,8 +271,15 @@ impl Sidecar {
             schema_version,
             solver,
             counters,
+            gauges,
             spans,
+            traces,
         })
+    }
+
+    /// A gauge value by name (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
     }
 
     /// A solver work counter by sidecar field name (0 when absent).
@@ -238,6 +355,53 @@ mod tests {
         assert_eq!(s.spans[0].self_ns, 70);
         assert_eq!(s.spans[0].newton_iterations, 0);
         assert!(s.counters.is_empty());
+    }
+
+    #[test]
+    fn parses_v3_gauges_traces_and_health() {
+        let text = r#"{
+          "schema": "pvtm-telemetry/3",
+          "schema_version": 3,
+          "id": "fig3",
+          "mode": "full",
+          "clock": false,
+          "solver": {"solves": 4},
+          "gauges": {"mc.ess_fraction": 0.82, "mc.stall_ratio": 0.0},
+          "spans": [
+            {"path": "fig3", "count": 1, "total_ns": 0, "self_ns": 0,
+             "solves": 4, "rescue_attempts": 2, "rescue_hits": 1}
+          ],
+          "traces": [
+            {"name": "fig3.mc",
+             "points": [
+               {"chunk": 0, "samples": 4096, "value": 1e-4, "std_err": 2e-5},
+               {"chunk": 1, "samples": 8192, "value": 1.1e-4, "std_err": 1.5e-5}
+             ],
+             "health": {"contributing": 900, "ess": 738.0, "ess_fraction": 0.82,
+                        "max_weight_fraction": 0.02, "steps": 1,
+                        "stalled_steps": 0, "stall_ratio": 0.0}}
+          ]
+        }"#;
+        let s = Sidecar::parse(text).unwrap();
+        assert_eq!(s.gauge("mc.ess_fraction"), Some(0.82));
+        assert_eq!(s.spans[0].rescue_attempts, 2);
+        assert_eq!(s.spans[0].rescue_hits, 1);
+        let t = &s.traces[0];
+        assert_eq!(t.name, "fig3.mc");
+        assert_eq!(t.points.len(), 2);
+        assert_eq!(t.points[1].samples, 8192);
+        let h = t.health.unwrap();
+        assert!(h.has_weights);
+        assert_eq!(h.contributing, 900);
+        assert_eq!(h.ess_fraction, 0.82);
+    }
+
+    #[test]
+    fn pre_v3_sidecars_have_no_health() {
+        let s = Sidecar::parse(&v2_doc()).unwrap();
+        assert!(s.traces.is_empty());
+        assert!(s.gauges.is_empty());
+        assert_eq!(s.spans[0].rescue_attempts, 0);
     }
 
     #[test]

@@ -6,11 +6,17 @@
 //! To regenerate after an intentional output change:
 //! `cargo test -p pvtm-trace --test golden -- --ignored bless`
 
-use pvtm_trace::{check, diff, folded_stacks, hot_span_table, update_budgets, Budgets, Sidecar};
+use pvtm_trace::{
+    check, diff, folded_stacks, health_check, hot_span_table, update_budgets,
+    update_health_budgets, Budgets, HealthBudgets, Sidecar,
+};
 
 const BASE: &str = include_str!("fixtures/fig_quick.telemetry.json");
 const REGRESSED: &str = include_str!("fixtures/fig_quick_regressed.telemetry.json");
 const BUDGETS: &str = include_str!("fixtures/perf-budgets.json");
+const HEALTHY: &str = include_str!("fixtures/fig_health.telemetry.json");
+const LOW_ESS: &str = include_str!("fixtures/fig_low_ess.telemetry.json");
+const HEALTH_BUDGETS: &str = include_str!("fixtures/health-budgets.json");
 
 fn base() -> Sidecar {
     Sidecar::parse(BASE).expect("base fixture parses")
@@ -22,6 +28,38 @@ fn regressed() -> Sidecar {
 
 fn budgets() -> Budgets {
     Budgets::parse(BUDGETS).expect("budgets fixture parses")
+}
+
+fn healthy() -> Sidecar {
+    Sidecar::parse(HEALTHY).expect("healthy fixture parses")
+}
+
+fn low_ess() -> Sidecar {
+    Sidecar::parse(LOW_ESS).expect("low-ESS fixture parses")
+}
+
+fn health_budgets() -> HealthBudgets {
+    HealthBudgets::parse(HEALTH_BUDGETS).expect("health-budgets fixture parses")
+}
+
+/// The hand-maintained `"default"` entry the health fixture is built on:
+/// loose enough for any honest importance-sampled figure, tight enough to
+/// reject the seeded low-ESS run.
+fn default_health_entry() -> HealthBudgets {
+    HealthBudgets::parse(
+        r#"{
+          "schema": "pvtm-health-budgets/1",
+          "budgets": {
+            "default": {
+              "min_ess_fraction": 0.2,
+              "max_weight_fraction": 0.25,
+              "max_stall_ratio": 0.5,
+              "max_quarantine_ci_share": 0.25
+            }
+          }
+        }"#,
+    )
+    .expect("inline default budgets parse")
 }
 
 fn assert_golden(name: &str, actual: &str) {
@@ -84,6 +122,37 @@ fn check_fails_regressed_fixture_against_budgets() {
 }
 
 #[test]
+fn health_passes_healthy_fixture_against_budgets() {
+    let out = health_check(&health_budgets(), &[healthy()]);
+    assert!(
+        !out.failed(),
+        "health budgets must match the healthy fixture:\n{}",
+        out.text
+    );
+    assert_golden("health.golden.txt", &out.text);
+}
+
+#[test]
+fn health_fails_low_ess_fixture_against_default_entry() {
+    // fig_low_ess has no per-figure entry, so the "default" thresholds
+    // apply — and its seeded weight degeneracy must trip every axis.
+    let out = health_check(&health_budgets(), &[low_ess()]);
+    assert!(out.failed(), "seeded low-ESS fixture must fail the gate");
+    assert!(out.text.contains("LOW_ESS"), "{}", out.text);
+    assert!(out.text.contains("WEIGHT_DEGENERATE"), "{}", out.text);
+    assert!(out.text.contains("STALLED"), "{}", out.text);
+    assert_golden("health-fail.golden.txt", &out.text);
+}
+
+#[test]
+fn health_budgets_fixture_is_the_update_fixpoint() {
+    // --update-budgets on the healthy sidecar, starting from the default
+    // entry, must reproduce the checked-in health-budgets fixture.
+    let next = update_health_budgets(&default_health_entry(), &[healthy()]);
+    assert_eq!(next.to_json_pretty(), HEALTH_BUDGETS);
+}
+
+#[test]
 fn budgets_fixture_is_the_update_fixpoint() {
     // --update-budgets on the base sidecar must reproduce the checked-in
     // budgets file exactly (same semantics as re-recording a baseline).
@@ -107,6 +176,18 @@ fn bless() {
     std::fs::write(
         dir.join("check-fail.golden.txt"),
         check(&budgets(), &[regressed()]).text,
+    )
+    .unwrap();
+    let hb = update_health_budgets(&default_health_entry(), &[healthy()]);
+    std::fs::write(dir.join("health-budgets.json"), hb.to_json_pretty()).unwrap();
+    std::fs::write(
+        dir.join("health.golden.txt"),
+        health_check(&hb, &[healthy()]).text,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("health-fail.golden.txt"),
+        health_check(&hb, &[low_ess()]).text,
     )
     .unwrap();
 }
