@@ -101,6 +101,16 @@ pub enum CircuitError {
         /// Total samples drawn.
         total: u64,
     },
+    /// A typed template slot was applied to a template of a different
+    /// shape: the element it indexes is not of the expected kind. Slots
+    /// are minted by `CircuitTemplate` accessors, so this means a slot
+    /// from one compiled topology was used against another.
+    SlotMismatch {
+        /// Element kind the slot promises (`"vsource"`, `"mosfet"`).
+        expected: &'static str,
+        /// Element index the slot points at.
+        elem: usize,
+    },
 }
 
 impl CircuitError {
@@ -113,6 +123,7 @@ impl CircuitError {
             CircuitError::UnknownSource(_) => "unknown_source",
             CircuitError::EmptyCircuit => "empty_circuit",
             CircuitError::QuarantineExceeded { .. } => "quarantine_exceeded",
+            CircuitError::SlotMismatch { .. } => "slot_mismatch",
         }
     }
 }
@@ -136,6 +147,11 @@ impl std::fmt::Display for CircuitError {
                 f,
                 "{quarantined} of {total} Monte-Carlo samples quarantined, above the \
                  PVTM_MAX_QUARANTINE threshold"
+            ),
+            CircuitError::SlotMismatch { expected, elem } => write!(
+                f,
+                "{expected} slot points at element {elem} of a different kind; the slot \
+                 was minted by another template shape"
             ),
         }
     }

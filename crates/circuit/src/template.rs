@@ -33,7 +33,7 @@
 //! let mut tpl = CircuitTemplate::compile(ckt, DcOptions::default())?;
 //! let v1 = tpl.vsource_slot("V1").unwrap();
 //! for vin in [2.0, 1.5, 1.0] {
-//!     tpl.set_vsource(v1, vin);
+//!     tpl.set_vsource(v1, vin)?;
 //!     tpl.solve()?;
 //!     assert!((tpl.voltage(mid) - vin / 2.0).abs() < 1e-8);
 //! }
@@ -146,46 +146,80 @@ impl CircuitTemplate {
     /// Patches a voltage source's value \[V\]. No-op on the topology; the
     /// next [`Self::solve`] picks it up.
     ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SlotMismatch`] when the slot was minted by a
+    /// template of a different shape.
+    ///
     /// # Panics
     ///
-    /// Panics on a non-finite value or a slot from another template shape.
-    pub fn set_vsource(&mut self, slot: VsourceSlot, volts: f64) {
+    /// Panics on a non-finite value (caller contract: sampled voltages are
+    /// clamped finite upstream).
+    pub fn set_vsource(&mut self, slot: VsourceSlot, volts: f64) -> Result<(), CircuitError> {
         assert!(volts.is_finite(), "invalid source voltage {volts}");
         match self.netlist.element_mut(slot.elem) {
-            Element::Vsource { volts: v, .. } => *v = volts,
-            other => panic!("vsource slot points at {other:?}"),
+            Element::Vsource { volts: v, .. } => {
+                *v = volts;
+                Ok(())
+            }
+            _ => Err(CircuitError::SlotMismatch {
+                expected: "vsource",
+                elem: slot.elem,
+            }),
         }
     }
 
     /// Current value of a voltage source \[V\].
-    pub fn vsource_value(&self, slot: VsourceSlot) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SlotMismatch`] when the slot was minted by a
+    /// template of a different shape.
+    pub fn vsource_value(&self, slot: VsourceSlot) -> Result<f64, CircuitError> {
         match &self.netlist.elements()[slot.elem].1 {
-            Element::Vsource { volts, .. } => *volts,
-            other => panic!("vsource slot points at {other:?}"),
+            Element::Vsource { volts, .. } => Ok(*volts),
+            _ => Err(CircuitError::SlotMismatch {
+                expected: "vsource",
+                elem: slot.elem,
+            }),
         }
     }
 
     /// Patches a MOSFET's threshold deviation \[V\] in place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a slot from another template shape.
-    pub fn set_delta_vt(&mut self, slot: MosfetSlot, delta_vt: f64) {
+    /// [`CircuitError::SlotMismatch`] when the slot was minted by a
+    /// template of a different shape.
+    pub fn set_delta_vt(&mut self, slot: MosfetSlot, delta_vt: f64) -> Result<(), CircuitError> {
         match self.netlist.element_mut(slot.elem) {
-            Element::Mosfet { device, .. } => device.set_delta_vt(delta_vt),
-            other => panic!("mosfet slot points at {other:?}"),
+            Element::Mosfet { device, .. } => {
+                device.set_delta_vt(delta_vt);
+                Ok(())
+            }
+            _ => Err(CircuitError::SlotMismatch {
+                expected: "mosfet",
+                elem: slot.elem,
+            }),
         }
     }
 
     /// Replaces a MOSFET's device instance (geometry, card, ΔVt) wholesale.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a slot from another template shape.
-    pub fn set_device(&mut self, slot: MosfetSlot, device: Mosfet) {
+    /// [`CircuitError::SlotMismatch`] when the slot was minted by a
+    /// template of a different shape.
+    pub fn set_device(&mut self, slot: MosfetSlot, device: Mosfet) -> Result<(), CircuitError> {
         match self.netlist.element_mut(slot.elem) {
-            Element::Mosfet { device: d, .. } => *d = device,
-            other => panic!("mosfet slot points at {other:?}"),
+            Element::Mosfet { device: d, .. } => {
+                *d = device;
+                Ok(())
+            }
+            _ => Err(CircuitError::SlotMismatch {
+                expected: "mosfet",
+                elem: slot.elem,
+            }),
         }
     }
 
@@ -375,8 +409,8 @@ mod tests {
         let v1 = tpl.vsource_slot("V1").unwrap();
         tpl.solve().unwrap();
         assert!((tpl.voltage(mid) - 1.0).abs() < 1e-8);
-        tpl.set_vsource(v1, 1.0);
-        assert_eq!(tpl.vsource_value(v1), 1.0);
+        tpl.set_vsource(v1, 1.0).unwrap();
+        assert_eq!(tpl.vsource_value(v1).unwrap(), 1.0);
         tpl.solve().unwrap();
         assert!((tpl.voltage(mid) - 0.5).abs() < 1e-8);
         // The second solve must have been a warm hit.
@@ -393,7 +427,7 @@ mod tests {
         let vin = tpl.vsource_slot("VIN").unwrap();
         for i in 0..=20 {
             let v = i as f64 * 0.05;
-            tpl.set_vsource(vin, v);
+            tpl.set_vsource(vin, v).unwrap();
             tpl.solve().unwrap();
             // Reference: fresh cold solve of an equivalent netlist.
             let mut cold = inverter();
@@ -415,14 +449,14 @@ mod tests {
         let out = tpl.node("out").unwrap();
         let vin = tpl.vsource_slot("VIN").unwrap();
         let mn = tpl.mosfet_slot("MN").unwrap();
-        tpl.set_vsource(vin, 0.45);
+        tpl.set_vsource(vin, 0.45).unwrap();
         tpl.solve().unwrap();
         let base = tpl.voltage(out);
         // A stronger (lower-Vt) NMOS pulls the output lower at the same vin.
-        tpl.set_delta_vt(mn, -0.05);
+        tpl.set_delta_vt(mn, -0.05).unwrap();
         tpl.solve().unwrap();
         assert!(tpl.voltage(out) < base, "{} !< {base}", tpl.voltage(out));
-        tpl.set_delta_vt(mn, 0.0);
+        tpl.set_delta_vt(mn, 0.0).unwrap();
         tpl.solve().unwrap();
         assert!((tpl.voltage(out) - base).abs() < 1e-6);
     }

@@ -4,17 +4,27 @@
 //! estimates and byte-identical telemetry reports — cannot be enforced by
 //! clippy plugins or `syn`-based tools (no registry access, vendored shims
 //! only), so this crate carries its own Rust lexer ([`lexer`]), a token-
-//! stream rule engine ([`rules`]), and a `(file, rule)`-count baseline
-//! ratchet ([`baseline`]). The binary (`cargo run -p pvtm-lint`) walks
-//! `crates/`, `src/` and `examples/`, prints `file:line:col [rule-id]
-//! message` diagnostics, and exits non-zero on any violation not covered
-//! by `lint-baseline.json`. See DESIGN.md §7 for the rule catalogue.
+//! tree parser ([`parser`]), an item extractor ([`ast`]), a workspace
+//! symbol table ([`symbols`]), a call graph ([`callgraph`]), a token-stream
+//! rule engine ([`rules`]), a semantic rule engine ([`sema`]), and a
+//! `(file, rule)`-count baseline ratchet ([`baseline`]). The binary
+//! (`cargo run -p pvtm-lint`) walks `crates/`, `src/` and `examples/`,
+//! runs both passes via [`sema::analyze_tree`], prints `file:line:col
+//! [rule-id] message` diagnostics, and exits non-zero on any violation not
+//! covered by `lint-baseline.json`. See DESIGN.md §7 for the rule
+//! catalogue and the analysis pipeline.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sema;
+pub mod symbols;
 
 pub use rules::{lint_source, Diagnostic, RuleId};
+pub use sema::analyze_tree;
 
 use std::fs;
 use std::io;
@@ -45,17 +55,8 @@ pub struct TreeLint {
 ///
 /// Propagates I/O failures from directory walks and file reads.
 pub fn lint_tree(root: &Path) -> io::Result<TreeLint> {
-    let mut files = Vec::new();
-    for sub in LINT_ROOTS {
-        let dir = root.join(sub);
-        if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
-        }
-    }
-    files.sort();
-
     let mut out = TreeLint::default();
-    for path in files {
+    for path in walk_tree(root)? {
         let src = fs::read_to_string(&path)?;
         let rel = path
             .strip_prefix(root)
@@ -68,6 +69,25 @@ pub fn lint_tree(root: &Path) -> io::Result<TreeLint> {
     out.diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(out)
+}
+
+/// Collects every walked `.rs` file under `root`'s [`LINT_ROOTS`], sorted,
+/// skipping [`SKIP_DIRS`]. Shared by the token-only [`lint_tree`] and the
+/// semantic [`sema::analyze_tree`], so both passes see the same files.
+///
+/// # Errors
+///
+/// Propagates I/O failures from directory walks.
+pub fn walk_tree(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for sub in LINT_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -3,8 +3,8 @@
 //! Exit codes: `0` clean (every finding baselined or none), `1` new
 //! violations, `2` usage or I/O error.
 
+use pvtm_lint::analyze_tree;
 use pvtm_lint::baseline::{self, Baseline};
-use pvtm_lint::lint_tree;
 use pvtm_telemetry::json::{obj, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -84,7 +84,7 @@ fn main() -> ExitCode {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
-    let tree = lint_tree(&opts.root).map_err(|e| format!("walking {:?}: {e}", opts.root))?;
+    let tree = analyze_tree(&opts.root).map_err(|e| format!("walking {:?}: {e}", opts.root))?;
 
     let base = if opts.baseline.is_file() {
         let text = std::fs::read_to_string(&opts.baseline)

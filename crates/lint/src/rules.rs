@@ -25,6 +25,21 @@ pub enum RuleId {
     TelemetryTaxonomy,
     /// `env::var` reads of undocumented knobs.
     NoEnvRead,
+    /// Semantic: `substream(seed, stream)` collisions, RNGs captured across
+    /// parallel-closure boundaries, stream-id reuse across chunk loops.
+    RngStreamDiscipline,
+    /// Semantic: panic sinks reachable on the call graph from the policy
+    /// crates' public API.
+    PanicReachability,
+    /// Semantic: float accumulation in parallel chains not routed through
+    /// an order-fixed merge.
+    NondetReduction,
+    /// Semantic: telemetry names resolved through consts and checked
+    /// against the §5b/§5d registries.
+    TaxonomyResolution,
+    /// Semantic: two-way diff of `PVTM_*` reads against the documented
+    /// registry.
+    KnobCoverage,
     /// Malformed, unknown, reason-less or stale suppression comments.
     LintAllow,
 }
@@ -37,6 +52,11 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::PanicPolicy,
     RuleId::TelemetryTaxonomy,
     RuleId::NoEnvRead,
+    RuleId::RngStreamDiscipline,
+    RuleId::PanicReachability,
+    RuleId::NondetReduction,
+    RuleId::TaxonomyResolution,
+    RuleId::KnobCoverage,
     RuleId::LintAllow,
 ];
 
@@ -50,6 +70,11 @@ impl RuleId {
             RuleId::PanicPolicy => "panic-policy",
             RuleId::TelemetryTaxonomy => "telemetry-taxonomy",
             RuleId::NoEnvRead => "no-env-read",
+            RuleId::RngStreamDiscipline => "rng-stream-discipline",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::NondetReduction => "nondet-reduction",
+            RuleId::TaxonomyResolution => "taxonomy-by-resolution",
+            RuleId::KnobCoverage => "knob-coverage",
             RuleId::LintAllow => "lint-allow",
         }
     }
@@ -148,7 +173,7 @@ pub const EVENT_ROOTS: &[&str] = &["run", "figure", "mc", "solver", "eval", "ana
 const WALLCLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs"];
 
 /// Library trees under the strict panic policy.
-const PANIC_POLICY_PREFIXES: &[&str] = &[
+pub(crate) const PANIC_POLICY_PREFIXES: &[&str] = &[
     "crates/circuit/src/",
     "crates/stats/src/",
     "crates/sram/src/",
@@ -165,13 +190,24 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         return Vec::new();
     }
     let lexed = lexer::lex(src);
+    let mut diags = token_diags(&path, &lexed);
+    apply_allows(&path, &lexed.allows, &mut diags);
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+/// Runs the token-stream rules only — no suppression, no sorting. The
+/// semantic pass ([`crate::sema`]) calls this on its already-lexed files
+/// and applies allows itself, after the semantic rules have contributed
+/// their findings (so an allow covering a semantic finding is not reported
+/// stale by the token pass).
+pub(crate) fn token_diags(path: &str, lexed: &lexer::Lexed) -> Vec<Diagnostic> {
     let regions = test_regions(&lexed.tokens);
     let ctx = Ctx {
-        path: &path,
+        path,
         toks: &lexed.tokens,
         regions: &regions,
     };
-
     let mut diags = Vec::new();
     rule_no_hashmap(&ctx, &mut diags);
     rule_no_wallclock(&ctx, &mut diags);
@@ -179,13 +215,11 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     rule_panic_policy(&ctx, &mut diags);
     rule_telemetry_taxonomy(&ctx, &mut diags);
     rule_no_env_read(&ctx, &mut diags);
-    apply_allows(&path, &lexed.allows, &mut diags);
-    diags.sort_by_key(|d| (d.line, d.col, d.rule));
     diags
 }
 
 /// Whole directories that are test context: integration tests and benches.
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.split('/').any(|c| c == "tests" || c == "benches")
 }
 
@@ -217,7 +251,7 @@ impl Ctx<'_> {
 /// containing `not` (e.g. `#[cfg(not(test))]`) is conservatively treated as
 /// non-test. The range runs from the attribute to the item's closing brace
 /// (or terminating semicolon for brace-less items like `use`).
-fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i + 1 < toks.len() {
@@ -441,7 +475,25 @@ fn rule_panic_policy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
                 );
             }
             "expect" if i > 0 && toks[i - 1].text == "." && next_is(i + 1, "(") => {
-                if let Some(msg) = toks.get(i + 2).filter(|t| t.kind == TokKind::Str) {
+                // The message may be on the next line or wrapped
+                // (`&format!("…")`): scan the whole argument list, to its
+                // matching `)`, for the first string literal.
+                let mut depth = 1i64;
+                let mut j = i + 2;
+                let mut msg: Option<&Tok> = None;
+                while j < toks.len() && depth > 0 {
+                    match (toks[j].kind, toks[j].text.as_str()) {
+                        (TokKind::Punct, "(") => depth += 1,
+                        (TokKind::Punct, ")") => depth -= 1,
+                        (TokKind::Str, _) => {
+                            msg = Some(&toks[j]);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(msg) = msg {
                     if msg.text.split_whitespace().count() < 3 {
                         ctx.diag(
                             out,
@@ -461,6 +513,54 @@ fn rule_panic_policy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Maps a telemetry API function name to the kind of name it registers;
+/// shared with the semantic pass.
+pub(crate) fn telemetry_kind(callee: &str) -> Option<&'static str> {
+    match callee {
+        "span" => Some("span"),
+        "trace_scope" => Some("trace"),
+        "counter_add" => Some("counter"),
+        "gauge_set" => Some("gauge"),
+        "hist_record" => Some("histogram"),
+        "emit" => Some("event"),
+        _ => None,
+    }
+}
+
+/// Checks a telemetry name against the shape convention and the §5b/§5d
+/// registries; returns the problem description if it violates either.
+/// Shared between the lexical rule (literal names) and the semantic rule
+/// (names resolved through consts).
+pub(crate) fn taxonomy_problem(kind: &str, name: &str) -> Option<String> {
+    let shape_ok = !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        });
+    if !shape_ok {
+        return Some(format!(
+            "telemetry {kind} name \"{name}\" is not dotted lowercase \
+             (`[a-z0-9_]` segments separated by `.`)"
+        ));
+    }
+    let root = name.split('.').next().unwrap_or_default();
+    let (roots, section): (&[&str], &str) = match kind {
+        "span" | "trace" => (SPAN_ROOTS, "5b"),
+        "event" => (EVENT_ROOTS, "5d"),
+        _ => (METRIC_ROOTS, "5b"),
+    };
+    if !roots.contains(&root) {
+        return Some(format!(
+            "telemetry {kind} name \"{name}\" is outside the DESIGN.md §{section} \
+             taxonomy (unknown root \"{root}\"); extend the taxonomy and this registry \
+             together"
+        ));
+    }
+    None
+}
+
 fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
     let toks = ctx.toks;
     for i in 0..toks.len() {
@@ -468,14 +568,8 @@ fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
         if t.kind != TokKind::Ident || ctx.in_test(i) {
             continue;
         }
-        let kind = match t.text.as_str() {
-            "span" => "span",
-            "trace_scope" => "trace",
-            "counter_add" => "counter",
-            "gauge_set" => "gauge",
-            "hist_record" => "histogram",
-            "emit" => "event",
-            _ => continue,
+        let Some(kind) = telemetry_kind(&t.text) else {
+            continue;
         };
         // Only path-qualified calls (`pvtm_telemetry::span(…)`, `tm::span(…)`)
         // are telemetry call sites; method calls and locals are not.
@@ -494,43 +588,8 @@ fn rule_telemetry_taxonomy(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
             );
             continue;
         }
-        let name = &name_tok.text;
-        let shape_ok = !name.is_empty()
-            && name.split('.').all(|seg| {
-                !seg.is_empty()
-                    && seg
-                        .chars()
-                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
-            });
-        if !shape_ok {
-            ctx.diag(
-                out,
-                i,
-                RuleId::TelemetryTaxonomy,
-                format!(
-                    "telemetry {kind} name \"{name}\" is not dotted lowercase \
-                     (`[a-z0-9_]` segments separated by `.`)"
-                ),
-            );
-            continue;
-        }
-        let root = name.split('.').next().unwrap_or_default();
-        let (roots, section): (&[&str], &str) = match kind {
-            "span" | "trace" => (SPAN_ROOTS, "5b"),
-            "event" => (EVENT_ROOTS, "5d"),
-            _ => (METRIC_ROOTS, "5b"),
-        };
-        if !roots.contains(&root) {
-            ctx.diag(
-                out,
-                i,
-                RuleId::TelemetryTaxonomy,
-                format!(
-                    "telemetry {kind} name \"{name}\" is outside the DESIGN.md §{section} \
-                     taxonomy (unknown root \"{root}\"); extend the taxonomy and this registry \
-                     together"
-                ),
-            );
+        if let Some(problem) = taxonomy_problem(kind, &name_tok.text) {
+            ctx.diag(out, i, RuleId::TelemetryTaxonomy, problem);
         }
     }
 }
@@ -583,7 +642,7 @@ fn rule_no_env_read(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
 /// suppresses matching diagnostics on its own line and the next one.
 /// Malformed, unknown-rule, reason-less and unused allows are themselves
 /// reported under `lint-allow` so the suppression inventory stays honest.
-fn apply_allows(path: &str, allows: &[lexer::Allow], diags: &mut Vec<Diagnostic>) {
+pub(crate) fn apply_allows(path: &str, allows: &[lexer::Allow], diags: &mut Vec<Diagnostic>) {
     let mut used = vec![false; allows.len()];
     diags.retain(|d| {
         let mut keep = true;

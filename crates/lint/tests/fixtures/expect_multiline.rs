@@ -1,0 +1,20 @@
+//! Regression: a panic-policy `.expect(` whose message sits on a later
+//! line (rustfmt splits long chains) must still be checked.
+
+pub fn short_msg(x: Option<u32>) -> u32 {
+    x.expect(
+        "boom",
+    )
+}
+
+pub fn nested_then_msg(x: Option<u32>) -> u32 {
+    x.expect(
+        concat!("bad"),
+    )
+}
+
+pub fn invariant_msg(x: Option<u32>) -> u32 {
+    x.expect(
+        "callers validated the index above",
+    )
+}

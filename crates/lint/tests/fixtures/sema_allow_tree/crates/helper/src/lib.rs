@@ -1,0 +1,7 @@
+//! The sink justifies itself once, at the sink — not at every caller.
+
+/// Picks the first element; callers guarantee non-empty input.
+pub fn pick(v: &[u64]) -> u64 {
+    // pvtm-lint: allow(panic-reachability) callers pass non-empty slices by construction
+    *v.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Policy entry point whose reachable sink carries a sink-side allow.
+
+/// Public API delegating to the helper crate.
+pub fn lookup(v: &[u64]) -> u64 {
+    pvtm_helper::pick(v)
+}

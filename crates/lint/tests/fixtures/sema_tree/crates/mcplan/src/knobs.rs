@@ -1,0 +1,23 @@
+//! The fixture tree's documented-knob registry plus seeded coverage gaps:
+//! a ghost entry nothing reads and a rogue read nothing documents.
+
+/// Environment knobs this fixture documents (stands in for the README
+/// knob table).
+pub const DOCUMENTED_ENV_KNOBS: &[&str] = &[
+    "PVTM_FIXTURE_THREADS",
+    "PVTM_FIXTURE_GHOST",
+];
+
+/// Name of the documented thread-count override.
+const THREADS_KNOB: &str = "PVTM_FIXTURE_THREADS";
+
+/// Reads the documented knob through a const and a rogue knob by shape.
+pub fn thread_override() -> Option<usize> {
+    let raw = std::env::var(THREADS_KNOB).ok()?;
+    let fallback = lookup("PVTM_FIXTURE_ROGUE");
+    raw.parse().ok().or(fallback)
+}
+
+fn lookup(_name: &str) -> Option<usize> {
+    None
+}

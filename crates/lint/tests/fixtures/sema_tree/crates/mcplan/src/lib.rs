@@ -1,0 +1,13 @@
+//! Non-policy helper crate reached from the policy API: the lexical
+//! panic rule does not apply here, only reachability does.
+
+pub mod knobs;
+pub mod reduce;
+pub mod rng;
+pub mod streams;
+pub mod telemetry_names;
+
+/// Seeded violation: panics on empty input, and `pvtm_sram` exposes it.
+pub fn robust_mean(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Seeded nondet-reduction violations: parallel float accumulation that
+//! bypasses the order-fixed `Summary::merge` idiom.
+
+use rayon::prelude::*;
+
+/// Adds in work-stealing order.
+pub fn wild_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum::<f64>()
+}
+
+/// Combines partial results in scheduling order.
+pub fn wild_reduce(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b)
+}

@@ -1,0 +1,7 @@
+//! Deterministic stream derivation (fixture stand-in for the workspace's
+//! real `substream`).
+
+/// Derives RNG stream `stream` of `seed`.
+pub fn substream(seed: u64, stream: u64) -> u64 {
+    seed.rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9)
+}

@@ -1,0 +1,10 @@
+//! A telemetry span name routed through a const: the semantic pass must
+//! resolve it and check it against the §5b registry.
+
+/// Not a §5b root — the resolved check must flag the call site.
+const STAGE_SPAN: &str = "mcplan.chunk_sweep";
+
+/// Opens the stage span with a const name.
+pub fn record_stage() {
+    let _guard = pvtm_telemetry::span(STAGE_SPAN);
+}

@@ -1,0 +1,8 @@
+//! Policy-crate entry point: the interprocedural panic audit starts from
+//! this public API.
+
+/// Delegates to the helper crate; the `unwrap` it reaches over there is
+/// the seeded violation.
+pub fn margin_estimate(samples: &[f64]) -> f64 {
+    pvtm_mcplan::robust_mean(samples)
+}

@@ -1,0 +1,93 @@
+//! Property test: the token-tree parser is total over lexer output — no
+//! panic on any token soup — and its delimiter accounting is exact: every
+//! opener starts exactly one group, and every token ends up as a leaf, a
+//! group opener, or a consumed closer.
+
+use proptest::prelude::*;
+use pvtm_lint::lexer::{lex, TokKind};
+use pvtm_lint::parser::{build_trees, Tree};
+
+/// Fragment vocabulary covering every token kind, unbalanced delimiters,
+/// comments, raw strings, and an unterminated string.
+const FRAGS: &[&str] = &[
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "fn",
+    "x",
+    "self",
+    "42",
+    "0xF1",
+    "1.5e3",
+    "\"s\"",
+    "'c'",
+    "'a",
+    "::",
+    ".",
+    ",",
+    ";",
+    "->",
+    "=>",
+    "==",
+    "<",
+    ">",
+    ">>",
+    "!",
+    "#",
+    "&",
+    "|",
+    "let",
+    "for",
+    "// note\n",
+    "/* block */",
+    "r#\"raw\"#",
+    "\"open",
+];
+
+fn counts(trees: &[Tree]) -> (usize, usize) {
+    let (mut leaves, mut groups) = (0usize, 0usize);
+    for t in trees {
+        match t {
+            Tree::Leaf(_) => leaves += 1,
+            Tree::Group(g) => {
+                groups += 1;
+                let (l, r) = counts(&g.children);
+                leaves += l;
+                groups += r;
+            }
+        }
+    }
+    (leaves, groups)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_is_total_over_lexer_output(
+        picks in prop::collection::vec(0usize..FRAGS.len(), 0..64),
+    ) {
+        let src = picks
+            .iter()
+            .map(|&i| FRAGS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let toks = lex(&src).tokens;
+        let trees = build_trees(&toks);
+        let openers = toks
+            .iter()
+            .filter(|t| {
+                t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | "[" | "{")
+            })
+            .count();
+        let (leaves, groups) = counts(&trees);
+        // Every opener starts exactly one group; closers are either
+        // consumed by their group or kept as leaves — nothing vanishes.
+        prop_assert_eq!(groups, openers);
+        prop_assert!(leaves + groups <= toks.len());
+        prop_assert!(leaves + 2 * groups >= toks.len());
+    }
+}

@@ -115,6 +115,23 @@ fn panic_policy_fires_on_fixture() {
 }
 
 #[test]
+fn panic_policy_sees_multiline_expect_messages() {
+    let src = include_str!("fixtures/expect_multiline.rs");
+    let diags = lint_source("crates/sram/src/seeded.rs", src);
+    assert_diags(
+        src,
+        &diags,
+        &[
+            (5, "expect", RuleId::PanicPolicy),
+            (11, "expect", RuleId::PanicPolicy),
+        ],
+    );
+    // The ≥3-word invariant message stays allowed even when split across
+    // lines, and the same file outside the policy crates is quiet.
+    assert!(lint_source("crates/bench/src/seeded.rs", src).is_empty());
+}
+
+#[test]
 fn telemetry_taxonomy_fires_on_fixture() {
     let src = include_str!("fixtures/telemetry_taxonomy.rs");
     let diags = lint_source("crates/x/src/seeded.rs", src);

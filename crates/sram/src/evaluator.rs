@@ -404,13 +404,13 @@ impl CellEvaluator {
     fn read_solution(&mut self, cond: &Conditions) -> Result<(f64, f64), CircuitError> {
         let t = &mut self.read;
         t.tpl.set_temperature(cond.temp_k);
-        t.tpl.set_vsource(t.vbr, cond.vdd);
-        t.tpl.set_vsource(t.vvl, cond.vdd);
-        t.tpl.set_vsource(t.vwl, cond.vdd);
-        t.tpl.set_vsource(t.vsl, cond.vsb);
-        t.tpl.set_vsource(t.vbn, cond.body_bias);
-        t.tpl.set_device(t.axr, self.cell.device(Xtor::Axr));
-        t.tpl.set_device(t.nr, self.cell.device(Xtor::Nr));
+        t.tpl.set_vsource(t.vbr, cond.vdd)?;
+        t.tpl.set_vsource(t.vvl, cond.vdd)?;
+        t.tpl.set_vsource(t.vwl, cond.vdd)?;
+        t.tpl.set_vsource(t.vsl, cond.vsb)?;
+        t.tpl.set_vsource(t.vbn, cond.body_bias)?;
+        t.tpl.set_device(t.axr, self.cell.device(Xtor::Axr))?;
+        t.tpl.set_device(t.nr, self.cell.device(Xtor::Nr))?;
         t.tpl.solve()?;
         Ok((t.tpl.voltage(t.n_vr), t.tpl.branch_current(t.vbr)))
     }
@@ -419,15 +419,15 @@ impl CellEvaluator {
     fn write_level(&mut self, cond: &Conditions) -> Result<f64, CircuitError> {
         let t = &mut self.write;
         t.tpl.set_temperature(cond.temp_k);
-        t.tpl.set_vsource(t.vdd, cond.vdd);
-        t.tpl.set_vsource(t.vvr, 0.0);
-        t.tpl.set_vsource(t.vbl, 0.0);
-        t.tpl.set_vsource(t.vwl, cond.vdd);
-        t.tpl.set_vsource(t.vsl, cond.vsb);
-        t.tpl.set_vsource(t.vbn, cond.body_bias);
-        t.tpl.set_device(t.pl, self.cell.device(Xtor::Pl));
-        t.tpl.set_device(t.nl, self.cell.device(Xtor::Nl));
-        t.tpl.set_device(t.axl, self.cell.device(Xtor::Axl));
+        t.tpl.set_vsource(t.vdd, cond.vdd)?;
+        t.tpl.set_vsource(t.vvr, 0.0)?;
+        t.tpl.set_vsource(t.vbl, 0.0)?;
+        t.tpl.set_vsource(t.vwl, cond.vdd)?;
+        t.tpl.set_vsource(t.vsl, cond.vsb)?;
+        t.tpl.set_vsource(t.vbn, cond.body_bias)?;
+        t.tpl.set_device(t.pl, self.cell.device(Xtor::Pl))?;
+        t.tpl.set_device(t.nl, self.cell.device(Xtor::Nl))?;
+        t.tpl.set_device(t.axl, self.cell.device(Xtor::Axl))?;
         t.tpl.options_mut().set_guess(t.n_vdd, cond.vdd);
         t.tpl.solve()?;
         Ok(t.tpl.voltage(t.n_vl))
@@ -450,18 +450,18 @@ impl CellEvaluator {
         let t = &mut self.hold;
         t.tpl.invalidate_warm();
         t.tpl.set_temperature(cond.temp_k);
-        t.tpl.set_vsource(t.vdd, cond.vdd);
-        t.tpl.set_vsource(t.vbl, cond.vdd);
-        t.tpl.set_vsource(t.vbr, cond.vdd);
-        t.tpl.set_vsource(t.vwl, 0.0);
-        t.tpl.set_vsource(t.vsl, cond.vsb);
-        t.tpl.set_vsource(t.vbn, cond.body_bias);
+        t.tpl.set_vsource(t.vdd, cond.vdd)?;
+        t.tpl.set_vsource(t.vbl, cond.vdd)?;
+        t.tpl.set_vsource(t.vbr, cond.vdd)?;
+        t.tpl.set_vsource(t.vwl, 0.0)?;
+        t.tpl.set_vsource(t.vsl, cond.vsb)?;
+        t.tpl.set_vsource(t.vbn, cond.body_bias)?;
         for (slot, x) in
             t.devices
                 .iter()
                 .zip([Xtor::Pl, Xtor::Nl, Xtor::Pr, Xtor::Nr, Xtor::Axl, Xtor::Axr])
         {
-            t.tpl.set_device(*slot, self.cell.device(x));
+            t.tpl.set_device(*slot, self.cell.device(x))?;
         }
         let opts = t.tpl.options_mut();
         opts.set_guess(t.n_vl, cond.vdd);
@@ -489,16 +489,16 @@ impl CellEvaluator {
         };
         let t = &mut self.inv;
         t.tpl.set_temperature(cond.temp_k);
-        t.tpl.set_vsource(t.vdd, cond.vdd);
-        t.tpl.set_vsource(t.vin, vin);
-        t.tpl.set_vsource(t.vbit, cond.vdd);
+        t.tpl.set_vsource(t.vdd, cond.vdd)?;
+        t.tpl.set_vsource(t.vin, vin)?;
+        t.tpl.set_vsource(t.vbit, cond.vdd)?;
         t.tpl
-            .set_vsource(t.vwl, if wordline_high { cond.vdd } else { 0.0 });
-        t.tpl.set_vsource(t.vsl, cond.vsb);
-        t.tpl.set_vsource(t.vbn, cond.body_bias);
-        t.tpl.set_device(t.pu, self.cell.device(pu));
-        t.tpl.set_device(t.pd, self.cell.device(pd));
-        t.tpl.set_device(t.ax, self.cell.device(ax));
+            .set_vsource(t.vwl, if wordline_high { cond.vdd } else { 0.0 })?;
+        t.tpl.set_vsource(t.vsl, cond.vsb)?;
+        t.tpl.set_vsource(t.vbn, cond.body_bias)?;
+        t.tpl.set_device(t.pu, self.cell.device(pu))?;
+        t.tpl.set_device(t.pd, self.cell.device(pd))?;
+        t.tpl.set_device(t.ax, self.cell.device(ax))?;
         let guess = if vin > cond.vdd * 0.5 {
             cond.vsb
         } else {
