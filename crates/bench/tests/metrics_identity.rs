@@ -1,0 +1,116 @@
+//! The live-metrics determinism contract at the Reporter level: running
+//! the same figure with `PVTM_METRICS_ADDR` set (server up, endpoints
+//! scraped mid-run) and unset must produce byte-identical deterministic
+//! outputs — result JSON, telemetry sidecar, and the finalized event
+//! journal. The only knob-set additions are side files (`metrics.addr`)
+//! and the transient server itself.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use pvtm_bench::Reporter;
+use pvtm_stats::ImportanceSampler;
+use pvtm_telemetry as tm;
+
+const FIGURE: &str = "fig_metrics_identity";
+
+/// One deterministic mini-figure: a seeded importance-sampled tail
+/// probability with telemetry fully on and the clock gated off.
+fn run_figure(dir: &Path, scrape: bool) -> f64 {
+    let _ = std::fs::remove_dir_all(dir);
+    std::env::set_var("PVTM_RESULTS_DIR", dir);
+    std::env::set_var("PVTM_TELEMETRY", "full");
+    std::env::set_var("PVTM_TELEMETRY_CLOCK", "off");
+    tm::set_mode(tm::Mode::Full);
+    tm::set_clock_enabled(false);
+
+    let mut rep = Reporter::new();
+    let value = rep.figure(FIGURE, || {
+        let _t = tm::trace_scope("mc.identity");
+        let sampler = ImportanceSampler::new(vec![3.0]);
+        if scrape {
+            let addr = rep_addr(dir);
+            for target in ["/metrics", "/snapshot.json", "/healthz"] {
+                let _ = scrape_once(&addr, target);
+            }
+        }
+        sampler.probability(4 * 4096, 11, |z| z[0] > 3.0).value
+    });
+    rep.finish();
+
+    std::env::remove_var("PVTM_RESULTS_DIR");
+    std::env::remove_var("PVTM_TELEMETRY");
+    std::env::remove_var("PVTM_TELEMETRY_CLOCK");
+    value
+}
+
+fn rep_addr(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("metrics.addr"))
+        .expect("knob-set run writes metrics.addr")
+        .trim()
+        .to_string()
+}
+
+fn scrape_once(addr: &str, target: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect to live server");
+    conn.write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn deterministic_outputs(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    [
+        format!("{FIGURE}.json"),
+        format!("{FIGURE}.telemetry.json"),
+        format!("{FIGURE}.trace_events.json"),
+        format!("{FIGURE}.events.jsonl"),
+    ]
+    .into_iter()
+    .map(|name| {
+        let bytes = std::fs::read(dir.join(&name))
+            .unwrap_or_else(|e| panic!("figure output {name} missing: {e}"));
+        (name, bytes)
+    })
+    .collect()
+}
+
+#[test]
+fn a_scraped_run_is_byte_identical_to_an_unscraped_one() {
+    // Env knobs and telemetry state are process-global: one test owns them.
+    let base: PathBuf = std::env::temp_dir().join("pvtm-metrics-identity");
+    let dir_off = base.join("knob-unset");
+    let dir_on = base.join("knob-set");
+
+    std::env::remove_var("PVTM_METRICS_ADDR");
+    let v_off = run_figure(&dir_off, false);
+
+    std::env::set_var("PVTM_METRICS_ADDR", "127.0.0.1:0");
+    let v_on = run_figure(&dir_on, true);
+    std::env::remove_var("PVTM_METRICS_ADDR");
+
+    assert_eq!(
+        v_off, v_on,
+        "the estimate itself must not depend on the knob"
+    );
+    assert!(
+        dir_on.join("metrics.addr").is_file(),
+        "knob-set run advertises its bound address"
+    );
+    assert!(
+        !dir_off.join("metrics.addr").exists(),
+        "knob-unset run writes no live-plane side files"
+    );
+    for ((name, off), (_, on)) in deterministic_outputs(&dir_off)
+        .into_iter()
+        .zip(deterministic_outputs(&dir_on))
+    {
+        assert_eq!(
+            off, on,
+            "{name} differs between knob-set and knob-unset runs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

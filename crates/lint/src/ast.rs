@@ -54,6 +54,9 @@ pub enum ConstValue {
     /// `&[&str]`-shaped list; each entry keeps its own position so rules
     /// can anchor diagnostics at individual registry entries.
     StrList(Vec<StrEntry>),
+    /// `&[(&str, &str)]`-shaped list of string pairs (name-mapping
+    /// registries like `PROM_METRIC_MAP`); both sides keep positions.
+    StrPairList(Vec<(StrEntry, StrEntry)>),
     /// Anything else (expressions, non-literal initialisers).
     Other,
 }
@@ -325,27 +328,43 @@ fn parse_const_value(v: &[Tree]) -> ConstValue {
             ConstValue::Str(t.leaf().unwrap().text.clone())
         }
         _ => {
-            // `&[…]` or `[…]` of string literals.
+            // `&[…]` or `[…]` of string literals or `("…", "…")` pairs.
             let list = v.iter().find_map(|t| t.group().filter(|g| g.delim == '['));
             let Some(list) = list else {
                 return ConstValue::Other;
             };
+            let str_entry = |t: &Tree| {
+                t.leaf()
+                    .filter(|t| t.kind == TokKind::Str)
+                    .map(|tok| StrEntry {
+                        value: tok.text.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                    })
+            };
             let mut entries = Vec::new();
+            let mut pairs = Vec::new();
             for arg in split_args(&list.children) {
-                if let [t] = arg {
-                    if let Some(tok) = t.leaf().filter(|t| t.kind == TokKind::Str) {
-                        entries.push(StrEntry {
-                            value: tok.text.clone(),
-                            line: tok.line,
-                            col: tok.col,
-                        });
+                let [t] = arg else { continue };
+                if let Some(e) = str_entry(t) {
+                    entries.push(e);
+                } else if let Some(g) = t.group().filter(|g| g.delim == '(') {
+                    let members: Vec<StrEntry> = split_args(&g.children)
+                        .iter()
+                        .filter_map(|a| match a {
+                            [x] => str_entry(x),
+                            _ => None,
+                        })
+                        .collect();
+                    if let Ok([a, b]) = <[StrEntry; 2]>::try_from(members) {
+                        pairs.push((a, b));
                     }
                 }
             }
-            if entries.is_empty() {
-                ConstValue::Other
-            } else {
-                ConstValue::StrList(entries)
+            match (entries.is_empty(), pairs.is_empty()) {
+                (false, true) => ConstValue::StrList(entries),
+                (true, false) => ConstValue::StrPairList(pairs),
+                _ => ConstValue::Other,
             }
         }
     }

@@ -128,6 +128,7 @@ pub const DOCUMENTED_ENV_KNOBS: &[&str] = &[
     "PVTM_FAULT_SEED",
     "PVTM_FAULT_RATE",
     "PVTM_MAX_QUARANTINE",
+    "PVTM_METRICS_ADDR",
 ];
 
 /// First path segments of valid span / trace-scope names (DESIGN.md §5b:

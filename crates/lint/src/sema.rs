@@ -104,6 +104,7 @@ pub fn analyze_tree(root: &Path) -> io::Result<TreeLint> {
     panic_reachability(&units, &syms, &graph, &mut per);
     nondet_reduction(&units, &mut per);
     taxonomy_by_resolution(&units, &syms, &mut per, &mut superseded);
+    prom_metric_map(&units, &mut per);
     knob_coverage(&units, &syms, &mut per, &mut superseded);
 
     let mut diagnostics = Vec::new();
@@ -891,6 +892,56 @@ fn taxonomy_scan(
                     segs.join("::")
                 ),
             ));
+        }
+    }
+}
+
+// ------------------------------------------------------- prom-name maps
+
+/// Validates Prometheus name-mapping registries: every non-test const
+/// named `PROM_METRIC_MAP` with a `&[(&str, &str)]` shape. The left side
+/// of each pair must sit inside the §5b metric taxonomy, and the right
+/// side must be its mechanical mangle (`pvtm_` + the name with `.` →
+/// `_`) — the exposition format exports §5b names, it never invents new
+/// ones.
+fn prom_metric_map(units: &[FileUnit], per: &mut [Vec<Diagnostic>]) {
+    for (u, unit) in units.iter().enumerate() {
+        if rules::is_test_path(&unit.rel) {
+            continue;
+        }
+        for c in &unit.ast.consts {
+            if c.name != "PROM_METRIC_MAP" || c.is_test {
+                continue;
+            }
+            let crate::ast::ConstValue::StrPairList(pairs) = &c.value else {
+                continue;
+            };
+            for (metric, prom) in pairs {
+                if let Some(problem) = rules::taxonomy_problem("metric", &metric.value) {
+                    per[u].push(diag(
+                        unit,
+                        metric.line,
+                        metric.col,
+                        RuleId::TaxonomyResolution,
+                        format!("{problem} (entry of `PROM_METRIC_MAP`)"),
+                    ));
+                }
+                let expected = format!("pvtm_{}", metric.value.replace('.', "_"));
+                if prom.value != expected {
+                    per[u].push(diag(
+                        unit,
+                        prom.line,
+                        prom.col,
+                        RuleId::TaxonomyResolution,
+                        format!(
+                            "Prometheus name \"{}\" is not the mechanical mangle of \
+                             \"{}\" (expected \"{expected}\"); `PROM_METRIC_MAP` must \
+                             track §5b names, not invent new ones",
+                            prom.value, metric.value
+                        ),
+                    ));
+                }
+            }
         }
     }
 }

@@ -2,6 +2,7 @@
 //! panic rule does not apply here, only reachability does.
 
 pub mod knobs;
+pub mod prom_map;
 pub mod reduce;
 pub mod rng;
 pub mod streams;

@@ -1,0 +1,12 @@
+//! A Prometheus name-mapping registry: the semantic pass must check the
+//! metric side of every pair against the §5b taxonomy and the exposition
+//! side against the mechanical mangle (`pvtm_` + `.` → `_`).
+
+/// Two seeded violations: `custom.latency` has a root outside the §5b
+/// metric taxonomy, and `pvtm_mc_essfrac` is not the mechanical mangle
+/// of `mc.ess_fraction`. The first pair is clean.
+pub const PROM_METRIC_MAP: &[(&str, &str)] = &[
+    ("mc.ess", "pvtm_mc_ess"),
+    ("custom.latency", "pvtm_custom_latency"),
+    ("mc.ess_fraction", "pvtm_mc_essfrac"),
+];

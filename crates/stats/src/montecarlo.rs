@@ -349,8 +349,13 @@ impl ImportanceSampler {
                     };
                     s.add(w);
                 }
-                record_trace_chunk(&trace, c, &s);
-                health.record(&trace, c);
+                // One write scope: a live scrape sees this chunk's moments
+                // and health together or not at all (ESS stays recomputable
+                // from any snapshot).
+                pvtm_telemetry::update_scope(|| {
+                    record_trace_chunk(&trace, c, &s);
+                    health.record(&trace, c);
+                });
                 s
             })
             .reduce(Summary::new, |mut a, b| {
@@ -438,8 +443,11 @@ impl ImportanceSampler {
                     s_hi.add(w_hi);
                     s_lo.add(w_lo);
                 }
-                record_trace_chunk(&trace, c, &s_hi);
-                health.record(&trace, c);
+                // Paired under one write scope, as in `probability_init`.
+                pvtm_telemetry::update_scope(|| {
+                    record_trace_chunk(&trace, c, &s_hi);
+                    health.record(&trace, c);
+                });
                 (s_hi, s_lo, quarantined)
             })
             .reduce(

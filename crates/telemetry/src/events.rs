@@ -223,6 +223,8 @@ pub fn open_journal(path: &Path, id: &str) -> std::io::Result<bool> {
     if !enabled() {
         return Ok(false);
     }
+    // The run id changes what live scrapes report; bump the write epoch.
+    let _scope = crate::snapshot::write_scope();
     let mut file = File::create(path)?;
     let mut header = header_line(id);
     header.push('\n');
@@ -247,6 +249,7 @@ pub fn open_journal(path: &Path, id: &str) -> std::io::Result<bool> {
 /// Propagates filesystem errors; the live (arrival-order) file is left in
 /// place when the canonical rewrite fails.
 pub fn finalize_journal(extra: &[(&'static str, Value)]) -> std::io::Result<Option<PathBuf>> {
+    let _scope = crate::snapshot::write_scope();
     let Some(live) = journal().live.take() else {
         return Ok(None);
     };
@@ -255,6 +258,12 @@ pub fn finalize_journal(extra: &[(&'static str, Value)]) -> std::io::Result<Opti
     std::fs::write(&tmp, text)?;
     std::fs::rename(&tmp, &live.path)?;
     Ok(Some(live.path))
+}
+
+/// The id of the currently open live journal, if any — what live scrapes
+/// report as the run id.
+pub(crate) fn live_id() -> Option<String> {
+    journal().live.as_ref().map(|l| l.id.clone())
 }
 
 /// Drops all buffered events and closes any live journal without

@@ -55,12 +55,15 @@ pub mod events;
 pub mod fault;
 pub mod json;
 mod report;
+pub mod serve;
+pub mod snapshot;
 mod trace_events;
 
 pub use report::{
     HistBucket, HistRow, Report, SolverSummary, SpanRow, TraceHealth, TracePoint, TraceRow,
     SCHEMA_VERSION,
 };
+pub use snapshot::update_scope;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -425,6 +428,9 @@ impl Drop for SpanGuard {
         let ns = self.watch.elapsed_ns();
         let prev_len = self.prev_len;
         with_local(|c| {
+            if snapshot::live_tracking() {
+                snapshot::span_closed(&c.path);
+            }
             if let Some(s) = c.spans.get_mut(&c.path) {
                 s.count += 1;
                 s.total_ns += ns;
@@ -480,6 +486,11 @@ pub fn span(name: &str) -> SpanGuard {
             c.path.push('/');
         }
         c.path.push_str(name);
+        // Live-plane only: mirror the open span into the scrape registry
+        // while a metrics server runs (never on the deterministic path).
+        if snapshot::live_tracking() {
+            snapshot::span_opened(&c.path);
+        }
     });
     SpanGuard {
         watch: if prev_len != usize::MAX {
@@ -696,6 +707,7 @@ pub fn record_chunk(handle: &TraceHandle, chunk: u64, n: u64, mean: f64, m2: f64
     if mode() == Mode::Off {
         return;
     }
+    let _scope = snapshot::write_scope();
     global()
         .traces
         .entry(handle.0.to_string())
@@ -723,6 +735,8 @@ pub fn record_mc_start(handle: &TraceHandle, samples: u64, chunks: u64) {
     if mode() == Mode::Off {
         return;
     }
+    let _scope = snapshot::write_scope();
+    snapshot::record_plan(&handle.0, samples, chunks);
     events::emit(
         "mc.start",
         events::name_key(&handle.0),
@@ -763,6 +777,7 @@ pub fn record_chunk_health(handle: &TraceHandle, chunk: u64, h: HealthChunk) {
     if mode() == Mode::Off {
         return;
     }
+    let _scope = snapshot::write_scope();
     global()
         .health
         .entry(handle.0.to_string())
@@ -794,6 +809,7 @@ pub fn record_quarantine(rec: QuarantineRecord) {
     if mode() == Mode::Off {
         return;
     }
+    let _scope = snapshot::write_scope();
     events::emit(
         "mc.quarantine",
         rec.stream,
@@ -836,6 +852,7 @@ pub fn reset() {
     g.health.clear();
     g.quarantine.clear();
     drop(g);
+    snapshot::clear();
     events::clear();
 }
 

@@ -514,6 +514,16 @@ impl Report {
                                                         "lo",
                                                         Value::Num(2.0f64.powi(i32::from(b.log2))),
                                                     ),
+                                                    // Explicit `le`-style upper bound, so
+                                                    // Prometheus rendering and report
+                                                    // consumers agree without re-deriving
+                                                    // it from the log2 index.
+                                                    (
+                                                        "hi",
+                                                        Value::Num(
+                                                            2.0f64.powi(i32::from(b.log2) + 1),
+                                                        ),
+                                                    ),
                                                     ("count", Value::Num(b.count as f64)),
                                                 ])
                                             })

@@ -1,0 +1,795 @@
+//! Point-in-time consistent live snapshots of the telemetry registry.
+//!
+//! A scrape taken mid-run must never observe a *torn* logical update — the
+//! canonical hazard is an estimator chunk whose running moments
+//! ([`crate::record_chunk`]) have landed while its health moments
+//! ([`crate::record_chunk_health`]) have not: ESS computed from such a
+//! snapshot would disagree with the chunk count. Single records are already
+//! atomic under the registry mutex; tearing is only possible across
+//! *separate* mutex acquisitions. The fix is a seqlock-style epoch:
+//!
+//! - writers enter a [`write scope`](update_scope) (one atomic increment),
+//!   perform any number of registry mutations, then bump the epoch and
+//!   leave the scope;
+//! - [`live`] reads the epoch, waits until no writer is inside a scope,
+//!   captures the registry under the mutex, and retries whenever a writer
+//!   entered concurrently or the epoch moved.
+//!
+//! Everything here is live-plane only: none of this state is rendered into
+//! sidecars or journals, so runs without a metrics server are byte-identical
+//! to runs that never loaded this module.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::json::{obj, Value};
+use crate::report::Report;
+use crate::{clock, events};
+
+// ------------------------------------------------------------ write epoch
+
+/// Writers currently inside an [`update_scope`].
+static WRITERS: AtomicU64 = AtomicU64::new(0);
+/// Completed logical updates; bumped when a write scope closes.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// Whether a metrics server is running (gates open-span tracking).
+static LIVE: AtomicBool = AtomicBool::new(false);
+
+/// Open-span registry: `/`-joined path → currently-open count. Maintained
+/// only while a server is live; never rendered into deterministic outputs.
+static OPEN_SPANS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+/// Planned estimator work recorded by [`crate::record_mc_start`]:
+/// trace name → (samples, chunks). Gives live progress its denominators.
+static PLANS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+/// Stopwatch started when a metrics server comes up; read by [`live`] so
+/// scrape timestamps route through `clock` (zero when the clock is gated).
+static WATCH: Mutex<Option<clock::Stopwatch>> = Mutex::new(None);
+
+fn open_spans() -> MutexGuard<'static, BTreeMap<String, u64>> {
+    OPEN_SPANS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn plans() -> MutexGuard<'static, BTreeMap<String, (u64, u64)>> {
+    PLANS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII marker for one logical registry update; see [`update_scope`].
+#[derive(Debug)]
+pub(crate) struct WriteScope(());
+
+impl WriteScope {
+    pub(crate) fn enter() -> Self {
+        WRITERS.fetch_add(1, Ordering::SeqCst);
+        WriteScope(())
+    }
+}
+
+impl Drop for WriteScope {
+    fn drop(&mut self) {
+        EPOCH.fetch_add(1, Ordering::SeqCst);
+        WRITERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+pub(crate) fn write_scope() -> WriteScope {
+    WriteScope::enter()
+}
+
+/// Runs `f` as one logical registry update: a live scrape either sees all
+/// of its effects or none of them. Estimators wrap the per-chunk
+/// moments + health recording pair so ESS stays recomputable from any
+/// snapshot. Scopes nest; the cost is three uncontended atomic ops.
+pub fn update_scope<R>(f: impl FnOnce() -> R) -> R {
+    let _scope = WriteScope::enter();
+    f()
+}
+
+// -------------------------------------------------- live-plane bookkeeping
+
+pub(crate) fn set_live(on: bool) {
+    LIVE.store(on, Ordering::SeqCst);
+    if !on {
+        open_spans().clear();
+        *WATCH.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+pub(crate) fn live_tracking() -> bool {
+    LIVE.load(Ordering::SeqCst)
+}
+
+pub(crate) fn start_watch() {
+    *WATCH.lock().unwrap_or_else(|e| e.into_inner()) = Some(clock::Stopwatch::started());
+}
+
+pub(crate) fn span_opened(path: &str) {
+    *open_spans().entry(path.to_string()).or_insert(0) += 1;
+}
+
+pub(crate) fn span_closed(path: &str) {
+    let mut open = open_spans();
+    if let Some(n) = open.get_mut(path) {
+        // Saturating: the span may have been opened before tracking began.
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            open.remove(path);
+        }
+    }
+}
+
+pub(crate) fn record_plan(name: &str, samples: u64, chunks: u64) {
+    plans().insert(name.to_string(), (samples, chunks));
+}
+
+pub(crate) fn clear() {
+    plans().clear();
+    open_spans().clear();
+}
+
+// ------------------------------------------------------------- snapshots
+
+/// Per-trace live progress: done vs planned work, the Chan-merged running
+/// estimate, and the raw weight moments the health diagnostics derive from
+/// (exposed so ESS is recomputable from the snapshot itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProgress {
+    /// Trace name (the `trace_scope` label).
+    pub name: String,
+    /// Chunks whose moments have been recorded so far.
+    pub chunks_done: u64,
+    /// Planned chunk count (0 when no `mc.start` was recorded).
+    pub chunks_total: u64,
+    /// Samples folded into the running estimate so far.
+    pub samples_done: u64,
+    /// Planned sample count (0 when no `mc.start` was recorded).
+    pub samples_total: u64,
+    /// Health chunks recorded so far — equals `chunks_done` at every
+    /// consistent snapshot of a weight-tracking estimator.
+    pub health_chunks: u64,
+    /// Contributing (failing) samples across recorded health chunks.
+    pub contributing: u64,
+    /// Σw over contributing samples.
+    pub weight_sum: f64,
+    /// Σw² over contributing samples.
+    pub weight_sq_sum: f64,
+    /// max(w) over contributing samples.
+    pub weight_max: f64,
+    /// Effective sample size `(Σw)²/Σw²` (0 without weights).
+    pub ess: f64,
+    /// Running estimate after the last recorded chunk.
+    pub value: f64,
+    /// Standard error of the running estimate.
+    pub std_err: f64,
+}
+
+/// One consistent scrape of the full registry, as served by
+/// `/snapshot.json` and rendered to Prometheus text by `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveSnapshot {
+    /// Write epoch the capture was validated against.
+    pub epoch: u64,
+    /// Journal id of the running figure (`live` when no journal is open).
+    pub id: String,
+    /// Seconds since the metrics server started (0 with the clock gated).
+    pub elapsed_secs: f64,
+    /// The merged registry, exactly as a sidecar would report it now.
+    pub report: Report,
+    /// Currently-open span paths with open counts.
+    pub open_spans: Vec<(String, u64)>,
+    /// Per-trace progress and raw health moments.
+    pub progress: Vec<TraceProgress>,
+}
+
+/// Captures one consistent [`LiveSnapshot`] via the seqlock protocol:
+/// retry while any writer is inside an [`update_scope`] or the epoch moved
+/// during the capture. Under sustained writes the loop is bounded; the
+/// final attempt is returned best-effort (single-record consistency still
+/// holds — only multi-record pairing could be stale).
+pub fn live() -> LiveSnapshot {
+    for _ in 0..64 {
+        let epoch = EPOCH.load(Ordering::SeqCst);
+        if WRITERS.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+            continue;
+        }
+        let snap = capture(epoch);
+        if WRITERS.load(Ordering::SeqCst) == 0 && EPOCH.load(Ordering::SeqCst) == epoch {
+            return snap;
+        }
+    }
+    capture(EPOCH.load(Ordering::SeqCst))
+}
+
+fn capture(epoch: u64) -> LiveSnapshot {
+    let planned: BTreeMap<String, (u64, u64)> = plans().clone();
+    let (report, progress) = {
+        let g = crate::global();
+        let report = crate::report::build(&g, crate::mode(), crate::clock_enabled());
+        let mut names: Vec<&String> = g.traces.keys().collect();
+        for name in planned.keys() {
+            if !g.traces.contains_key(name) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        let progress = names
+            .iter()
+            .map(|name| {
+                let (samples_total, chunks_total) = planned.get(*name).copied().unwrap_or((0, 0));
+                let chunks_done = g.traces.get(*name).map_or(0, |c| c.len() as u64);
+                let last = report.trace(name).and_then(|t| t.points.last().copied());
+                let (samples_done, value, std_err) =
+                    last.map_or((0, 0.0, 0.0), |p| (p.samples, p.value, p.std_err));
+                // Fold health moments in chunk order, mirroring the report,
+                // so `ess` here is bit-identical to the derived gauges.
+                let (mut health_chunks, mut fails) = (0u64, 0u64);
+                let (mut ws, mut wss, mut wmax) = (0.0f64, 0.0f64, 0.0f64);
+                if let Some(chunks) = g.health.get(*name) {
+                    let mut sorted = chunks.clone();
+                    sorted.sort_by_key(|&(chunk, _)| chunk);
+                    health_chunks = sorted.len() as u64;
+                    for (_, h) in &sorted {
+                        fails += h.fails;
+                        ws += h.weight_sum;
+                        wss += h.weight_sq_sum;
+                        wmax = wmax.max(h.weight_max);
+                    }
+                }
+                TraceProgress {
+                    name: (*name).clone(),
+                    chunks_done,
+                    chunks_total,
+                    samples_done,
+                    samples_total,
+                    health_chunks,
+                    contributing: fails,
+                    weight_sum: ws,
+                    weight_sq_sum: wss,
+                    weight_max: wmax,
+                    ess: if wss > 0.0 { ws * ws / wss } else { 0.0 },
+                    value,
+                    std_err,
+                }
+            })
+            .collect();
+        (report, progress)
+    };
+    let open = open_spans().iter().map(|(p, &n)| (p.clone(), n)).collect();
+    let elapsed_secs = WATCH
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map_or(0.0, clock::Stopwatch::elapsed_secs);
+    LiveSnapshot {
+        epoch,
+        id: events::live_id().unwrap_or_else(|| "live".to_string()),
+        elapsed_secs,
+        report,
+        open_spans: open,
+        progress,
+    }
+}
+
+// ------------------------------------------------------- prometheus names
+
+/// Prometheus names of the curated run-level metrics (DESIGN.md §5b →
+/// §5e): each entry maps a taxonomy name to its mechanical mangling
+/// `pvtm_` + name with `.` replaced by `_`. pvtm-lint checks both the
+/// taxonomy membership of the first element and the mangling of the
+/// second, so the scrape plane cannot drift from the sidecar taxonomy.
+pub const PROM_METRIC_MAP: &[(&str, &str)] = &[
+    ("mc.ess", "pvtm_mc_ess"),
+    ("mc.ess_fraction", "pvtm_mc_ess_fraction"),
+    ("mc.max_weight_fraction", "pvtm_mc_max_weight_fraction"),
+    ("mc.stall_ratio", "pvtm_mc_stall_ratio"),
+    ("mc.quarantine_ci_share", "pvtm_mc_quarantine_ci_share"),
+    ("mc.is_weight", "pvtm_mc_is_weight"),
+    ("solver.newton_per_solve", "pvtm_solver_newton_per_solve"),
+];
+
+/// `/healthz` thresholds — the conservative `default` entry of the
+/// checked-in health budgets (`pvtm-trace health` gates figures tighter,
+/// per-figure; the live endpoint only flags clearly unhealthy runs).
+pub const HEALTHZ_MIN_ESS_FRACTION: f64 = 0.2;
+/// Ceiling on `mc.max_weight_fraction` before `WEIGHT_DEGENERATE`.
+pub const HEALTHZ_MAX_WEIGHT_FRACTION: f64 = 0.25;
+/// Ceiling on `mc.stall_ratio` before `STALLED`.
+pub const HEALTHZ_MAX_STALL_RATIO: f64 = 0.5;
+/// Ceiling on `mc.quarantine_ci_share` before `QUARANTINE_BIASED`.
+pub const HEALTHZ_MAX_QUARANTINE_CI_SHARE: f64 = 0.25;
+
+/// The mechanical §5b → Prometheus mangling: `pvtm_` prefix, every
+/// character outside `[a-z0-9_]` becomes `_`.
+pub fn prom_name(name: &str) -> String {
+    let curated = PROM_METRIC_MAP
+        .iter()
+        .find(|(taxonomy, _)| *taxonomy == name)
+        .map(|&(_, prom)| prom.to_string());
+    curated.unwrap_or_else(|| {
+        let mut out = String::with_capacity(name.len() + 5);
+        out.push_str("pvtm_");
+        for ch in name.chars() {
+            out.push(match ch {
+                'a'..='z' | '0'..='9' | '_' => ch,
+                _ => '_',
+            });
+        }
+        out
+    })
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus sample-value formatting: integers without a decimal point,
+/// everything else via shortest round-trip, non-finite spelled out.
+fn prom_num(v: f64) -> String {
+    if !v.is_finite() {
+        if v.is_nan() {
+            "NaN".to_string()
+        } else if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl LiveSnapshot {
+    /// The `/snapshot.json` document: the sidecar schema
+    /// (`pvtm-telemetry/3`, parseable by every tolerant sidecar consumer)
+    /// plus the live-plane members, with keys in sorted order.
+    pub fn to_value(&self) -> Value {
+        let mut members = match self.report.to_value(&self.id) {
+            Value::Obj(members) => members,
+            other => vec![("report".to_string(), other)],
+        };
+        members.push(("elapsed_secs".to_string(), Value::Num(self.elapsed_secs)));
+        members.push(("epoch".to_string(), Value::Num(self.epoch as f64)));
+        members.push(("live".to_string(), Value::Bool(true)));
+        members.push((
+            "open_spans".to_string(),
+            Value::Arr(
+                self.open_spans
+                    .iter()
+                    .map(|(path, n)| {
+                        obj(vec![
+                            ("open", Value::Num(*n as f64)),
+                            ("path", Value::Str(path.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        members.push((
+            "progress".to_string(),
+            Value::Arr(
+                self.progress
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("chunks_done", Value::Num(p.chunks_done as f64)),
+                            ("chunks_total", Value::Num(p.chunks_total as f64)),
+                            ("contributing", Value::Num(p.contributing as f64)),
+                            ("ess", Value::Num(p.ess)),
+                            ("health_chunks", Value::Num(p.health_chunks as f64)),
+                            ("name", Value::Str(p.name.clone())),
+                            ("samples_done", Value::Num(p.samples_done as f64)),
+                            ("samples_total", Value::Num(p.samples_total as f64)),
+                            ("std_err", Value::Num(p.std_err)),
+                            ("value", Value::Num(p.value)),
+                            ("weight_max", Value::Num(p.weight_max)),
+                            ("weight_sq_sum", Value::Num(p.weight_sq_sum)),
+                            ("weight_sum", Value::Num(p.weight_sum)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        members.push((
+            "quarantine_count".to_string(),
+            Value::Num(self.report.quarantine.len() as f64),
+        ));
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(members)
+    }
+
+    /// The `/snapshot.json` body (compact, newline-terminated).
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_value().to_json();
+        s.push('\n');
+        s
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the snapshot.
+    ///
+    /// Histograms are rendered with cumulative `le` buckets derived from
+    /// the log2 bounds (`le = 2^(log2+1)`, underflow below the lowest
+    /// bound); no `_sum` series is emitted because the producer keeps
+    /// order-independent integer buckets only (DESIGN.md §5e).
+    pub fn prometheus(&self) -> String {
+        fn sample(out: &mut String, name: &str, kind: &str, lines: &[(String, f64)]) {
+            if lines.is_empty() {
+                return;
+            }
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (suffix, v) in lines {
+                out.push_str(&format!("{name}{suffix} {}\n", prom_num(*v)));
+            }
+        }
+        let mut out = String::new();
+        for (name, v) in &self.report.counters {
+            sample(
+                &mut out,
+                &prom_name(name),
+                "counter",
+                &[(String::new(), *v as f64)],
+            );
+        }
+        let s = &self.report.solver;
+        for (field, v) in [
+            ("solver.cold_solves", s.cold_solves),
+            ("solver.damped_retries", s.damped_retries),
+            ("solver.gmin_steps", s.gmin_steps),
+            ("solver.lu_factorizations", s.lu_factorizations),
+            ("solver.newton_iterations", s.newton_iterations),
+            ("solver.ramp_steps", s.ramp_steps),
+            ("solver.rescue_attempts", s.rescue_attempts),
+            ("solver.rescue_hits", s.rescue_hits),
+            ("solver.rescue_rungs", s.rescue_rungs),
+            ("solver.solves", s.solves),
+            ("solver.source_ramps", s.source_ramps),
+            ("solver.warm_attempts", s.warm_attempts),
+            ("solver.warm_hits", s.warm_hits),
+        ] {
+            sample(
+                &mut out,
+                &prom_name(field),
+                "counter",
+                &[(String::new(), v as f64)],
+            );
+        }
+        sample(
+            &mut out,
+            &prom_name("solver.warm_hit_rate"),
+            "gauge",
+            &[(String::new(), s.warm_hit_rate)],
+        );
+        for (name, v) in &self.report.gauges {
+            sample(&mut out, &prom_name(name), "gauge", &[(String::new(), *v)]);
+        }
+        for h in &self.report.histograms {
+            let name = prom_name(&h.name);
+            let mut lines = Vec::new();
+            let mut cum = h.underflow;
+            for b in &h.buckets {
+                cum += b.count;
+                let le = 2.0f64.powi(i32::from(b.log2) + 1);
+                lines.push((format!("_bucket{{le=\"{}\"}}", prom_num(le)), cum as f64));
+            }
+            lines.push(("_bucket{le=\"+Inf\"}".to_string(), h.count as f64));
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (suffix, v) in &lines {
+                out.push_str(&format!("{name}{suffix} {}\n", prom_num(*v)));
+            }
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        let families: [(&str, Vec<f64>); 7] = [
+            (
+                "mc.trace_chunks_done",
+                self.progress.iter().map(|p| p.chunks_done as f64).collect(),
+            ),
+            (
+                "mc.trace_chunks_total",
+                self.progress
+                    .iter()
+                    .map(|p| p.chunks_total as f64)
+                    .collect(),
+            ),
+            (
+                "mc.trace_samples_done",
+                self.progress
+                    .iter()
+                    .map(|p| p.samples_done as f64)
+                    .collect(),
+            ),
+            (
+                "mc.trace_samples_total",
+                self.progress
+                    .iter()
+                    .map(|p| p.samples_total as f64)
+                    .collect(),
+            ),
+            (
+                "mc.trace_estimate",
+                self.progress.iter().map(|p| p.value).collect(),
+            ),
+            (
+                "mc.trace_std_err",
+                self.progress.iter().map(|p| p.std_err).collect(),
+            ),
+            (
+                "mc.trace_ess",
+                self.progress.iter().map(|p| p.ess).collect(),
+            ),
+        ];
+        for (name, values) in families {
+            let lines: Vec<(String, f64)> = self
+                .progress
+                .iter()
+                .zip(values)
+                .map(|(p, v)| (format!("{{trace=\"{}\"}}", escape_label(&p.name)), v))
+                .collect();
+            sample(&mut out, &prom_name(name), "gauge", &lines);
+        }
+        let open: Vec<(String, f64)> = self
+            .open_spans
+            .iter()
+            .map(|(path, n)| (format!("{{path=\"{}\"}}", escape_label(path)), *n as f64))
+            .collect();
+        sample(&mut out, "pvtm_open_spans", "gauge", &open);
+        sample(
+            &mut out,
+            "pvtm_elapsed_seconds",
+            "gauge",
+            &[(String::new(), self.elapsed_secs)],
+        );
+        sample(
+            &mut out,
+            "pvtm_snapshot_epoch",
+            "gauge",
+            &[(String::new(), self.epoch as f64)],
+        );
+        sample(
+            &mut out,
+            "pvtm_mc_quarantined_total",
+            "counter",
+            &[(String::new(), self.report.quarantine.len() as f64)],
+        );
+        out
+    }
+
+    /// The `/healthz` verdict: one failure line per tripped axis, using
+    /// the same axes (and tags) as `pvtm-trace health` — LOW_ESS,
+    /// WEIGHT_DEGENERATE, STALLED, QUARANTINE_BIASED — against the
+    /// conservative default thresholds. Empty means healthy (HTTP 200).
+    pub fn health_failures(&self) -> Vec<String> {
+        let gauge = |name: &str| {
+            self.report
+                .gauges
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+        };
+        let mut out = Vec::new();
+        if let Some(v) = gauge("mc.ess_fraction") {
+            if v < HEALTHZ_MIN_ESS_FRACTION {
+                out.push(format!(
+                    "LOW_ESS ess_fraction {v:.4} (floor {HEALTHZ_MIN_ESS_FRACTION})"
+                ));
+            }
+        }
+        if let Some(v) = gauge("mc.max_weight_fraction") {
+            if v > HEALTHZ_MAX_WEIGHT_FRACTION {
+                out.push(format!(
+                    "WEIGHT_DEGENERATE max_weight_fraction {v:.4} (ceiling {HEALTHZ_MAX_WEIGHT_FRACTION})"
+                ));
+            }
+        }
+        if let Some(v) = gauge("mc.stall_ratio") {
+            if v > HEALTHZ_MAX_STALL_RATIO {
+                out.push(format!(
+                    "STALLED stall_ratio {v:.4} (ceiling {HEALTHZ_MAX_STALL_RATIO})"
+                ));
+            }
+        }
+        if let Some(v) = gauge("mc.quarantine_ci_share") {
+            if v > HEALTHZ_MAX_QUARANTINE_CI_SHARE {
+                out.push(format!(
+                    "QUARANTINE_BIASED quarantine_ci_share {v:.4} (ceiling {HEALTHZ_MAX_QUARANTINE_CI_SHARE})"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistBucket, HistRow, SolverSummary};
+    use crate::Mode;
+
+    fn fixture() -> LiveSnapshot {
+        LiveSnapshot {
+            epoch: 7,
+            id: "fig2a".to_string(),
+            elapsed_secs: 0.0,
+            report: Report {
+                mode: Mode::Full,
+                clock: false,
+                spans: Vec::new(),
+                counters: vec![("mc.samples".to_string(), 8192)],
+                gauges: vec![
+                    ("mc.ess_fraction".to_string(), 0.5),
+                    ("mc.stall_ratio".to_string(), 0.0),
+                ],
+                histograms: vec![HistRow {
+                    name: "mc.is_weight".to_string(),
+                    count: 10,
+                    underflow: 1,
+                    buckets: vec![
+                        HistBucket { log2: -1, count: 4 },
+                        HistBucket { log2: 0, count: 5 },
+                    ],
+                }],
+                solver: SolverSummary {
+                    solves: 3,
+                    newton_iterations: 12,
+                    lu_factorizations: 12,
+                    warm_attempts: 2,
+                    warm_hits: 1,
+                    cold_solves: 1,
+                    damped_retries: 0,
+                    source_ramps: 0,
+                    gmin_steps: 0,
+                    ramp_steps: 0,
+                    rescue_attempts: 0,
+                    rescue_hits: 0,
+                    rescue_rungs: 0,
+                    warm_hit_rate: 0.5,
+                },
+                traces: Vec::new(),
+                quarantine: Vec::new(),
+            },
+            open_spans: vec![("fig2a/mc.chunk".to_string(), 2)],
+            progress: vec![TraceProgress {
+                name: "fig2a.mc".to_string(),
+                chunks_done: 2,
+                chunks_total: 4,
+                samples_done: 8192,
+                samples_total: 16384,
+                health_chunks: 2,
+                contributing: 64,
+                weight_sum: 8.0,
+                weight_sq_sum: 2.0,
+                weight_max: 0.5,
+                ess: 32.0,
+                value: 1.5e-3,
+                std_err: 2.5e-4,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_byte_exact() {
+        let expected = "\
+# TYPE pvtm_mc_samples counter
+pvtm_mc_samples 8192
+# TYPE pvtm_solver_cold_solves counter
+pvtm_solver_cold_solves 1
+# TYPE pvtm_solver_damped_retries counter
+pvtm_solver_damped_retries 0
+# TYPE pvtm_solver_gmin_steps counter
+pvtm_solver_gmin_steps 0
+# TYPE pvtm_solver_lu_factorizations counter
+pvtm_solver_lu_factorizations 12
+# TYPE pvtm_solver_newton_iterations counter
+pvtm_solver_newton_iterations 12
+# TYPE pvtm_solver_ramp_steps counter
+pvtm_solver_ramp_steps 0
+# TYPE pvtm_solver_rescue_attempts counter
+pvtm_solver_rescue_attempts 0
+# TYPE pvtm_solver_rescue_hits counter
+pvtm_solver_rescue_hits 0
+# TYPE pvtm_solver_rescue_rungs counter
+pvtm_solver_rescue_rungs 0
+# TYPE pvtm_solver_solves counter
+pvtm_solver_solves 3
+# TYPE pvtm_solver_source_ramps counter
+pvtm_solver_source_ramps 0
+# TYPE pvtm_solver_warm_attempts counter
+pvtm_solver_warm_attempts 2
+# TYPE pvtm_solver_warm_hits counter
+pvtm_solver_warm_hits 1
+# TYPE pvtm_solver_warm_hit_rate gauge
+pvtm_solver_warm_hit_rate 0.5
+# TYPE pvtm_mc_ess_fraction gauge
+pvtm_mc_ess_fraction 0.5
+# TYPE pvtm_mc_stall_ratio gauge
+pvtm_mc_stall_ratio 0
+# TYPE pvtm_mc_is_weight histogram
+pvtm_mc_is_weight_bucket{le=\"1\"} 5
+pvtm_mc_is_weight_bucket{le=\"2\"} 10
+pvtm_mc_is_weight_bucket{le=\"+Inf\"} 10
+pvtm_mc_is_weight_count 10
+# TYPE pvtm_mc_trace_chunks_done gauge
+pvtm_mc_trace_chunks_done{trace=\"fig2a.mc\"} 2
+# TYPE pvtm_mc_trace_chunks_total gauge
+pvtm_mc_trace_chunks_total{trace=\"fig2a.mc\"} 4
+# TYPE pvtm_mc_trace_samples_done gauge
+pvtm_mc_trace_samples_done{trace=\"fig2a.mc\"} 8192
+# TYPE pvtm_mc_trace_samples_total gauge
+pvtm_mc_trace_samples_total{trace=\"fig2a.mc\"} 16384
+# TYPE pvtm_mc_trace_estimate gauge
+pvtm_mc_trace_estimate{trace=\"fig2a.mc\"} 0.0015
+# TYPE pvtm_mc_trace_std_err gauge
+pvtm_mc_trace_std_err{trace=\"fig2a.mc\"} 0.00025
+# TYPE pvtm_mc_trace_ess gauge
+pvtm_mc_trace_ess{trace=\"fig2a.mc\"} 32
+# TYPE pvtm_open_spans gauge
+pvtm_open_spans{path=\"fig2a/mc.chunk\"} 2
+# TYPE pvtm_elapsed_seconds gauge
+pvtm_elapsed_seconds 0
+# TYPE pvtm_snapshot_epoch gauge
+pvtm_snapshot_epoch 7
+# TYPE pvtm_mc_quarantined_total counter
+pvtm_mc_quarantined_total 0
+";
+        assert_eq!(fixture().prometheus(), expected);
+    }
+
+    #[test]
+    fn snapshot_json_keys_are_sorted() {
+        let v = fixture().to_value();
+        let Value::Obj(members) = &v else {
+            panic!("snapshot is not an object")
+        };
+        let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("pvtm-telemetry/3")
+        );
+        assert_eq!(v.get("live").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn healthz_trips_on_low_ess_and_stays_quiet_when_healthy() {
+        let mut snap = fixture();
+        assert!(snap.health_failures().is_empty());
+        snap.report.gauges[0].1 = 0.05;
+        let fails = snap.health_failures();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].starts_with("LOW_ESS"), "{fails:?}");
+    }
+
+    #[test]
+    fn prom_names_route_through_the_curated_map() {
+        for (taxonomy, prom) in PROM_METRIC_MAP {
+            assert_eq!(&prom_name(taxonomy), prom);
+            let mangled = format!("pvtm_{}", taxonomy.replace('.', "_"));
+            assert_eq!(*prom, mangled, "curated mapping must stay mechanical");
+        }
+        assert_eq!(prom_name("eval.cells"), "pvtm_eval_cells");
+    }
+
+    #[test]
+    fn update_scope_bumps_the_epoch() {
+        let before = EPOCH.load(Ordering::SeqCst);
+        update_scope(|| {
+            assert!(WRITERS.load(Ordering::SeqCst) >= 1);
+        });
+        assert!(EPOCH.load(Ordering::SeqCst) > before);
+        assert_eq!(WRITERS.load(Ordering::SeqCst), 0);
+    }
+}

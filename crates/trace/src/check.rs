@@ -206,6 +206,7 @@ mod tests {
             ]),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            histograms: Vec::new(),
             spans: Vec::new(),
             traces: Vec::new(),
         }

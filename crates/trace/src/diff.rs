@@ -181,6 +181,7 @@ mod tests {
             solver: BTreeMap::from([("solves".to_string(), 100), ("cold_solves".to_string(), 4)]),
             counters: BTreeMap::from([("mc.samples".to_string(), 4096)]),
             gauges: BTreeMap::new(),
+            histograms: Vec::new(),
             spans: vec![Span {
                 path: "fig".into(),
                 count: 1,

@@ -340,6 +340,7 @@ mod tests {
             solver: BTreeMap::new(),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            histograms: Vec::new(),
             spans: Vec::new(),
             traces: vec![Trace {
                 name: format!("{id}.mc"),

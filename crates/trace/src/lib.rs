@@ -15,7 +15,10 @@
 //!   against checked-in `health-budgets.json` thresholds;
 //! - [`tail`] parses the `results/<id>.events.jsonl` run journal — live
 //!   or finalized — into a progress snapshot, and doubles as the
-//!   `pvtm-events/1` schema validator in CI.
+//!   `pvtm-events/1` schema validator in CI;
+//! - [`top`] renders a polling terminal dashboard, scraping a live
+//!   `/snapshot.json` endpoint when the run exported one
+//!   (`PVTM_METRICS_ADDR`) and degrading to the event journal otherwise.
 //!
 //! The design point carried through all three: **wall-clock is advisory,
 //! work counters are the contract.** With `PVTM_TELEMETRY_CLOCK=off` the
@@ -32,6 +35,7 @@ pub mod health;
 pub mod report;
 pub mod sidecar;
 pub mod tail;
+pub mod top;
 
 pub use check::{check, update_budgets, Budgets, CheckOutcome};
 pub use diff::{diff, DiffOutcome};
@@ -39,3 +43,4 @@ pub use health::{health_check, update_health_budgets, HealthBudgets, HealthOutco
 pub use report::{folded_stacks, hot_span_table};
 pub use sidecar::{Sidecar, SidecarError, Span};
 pub use tail::{snapshot, Journal, Snapshot};
+pub use top::{fetch_live, parse_source, render_journal, render_live, LiveFrame, Source};

@@ -5,7 +5,8 @@
 //! pvtm-trace diff   <old.json> <new.json> [--tolerance F]
 //! pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]
 //! pvtm-trace health <budgets.json> <sidecar.json>... [--update-budgets]
-//! pvtm-trace tail   <events.jsonl> [--follow [--interval S]]
+//! pvtm-trace tail   <events.jsonl> [--json | --follow [--interval S]]
+//! pvtm-trace top    <addr | events.jsonl> [--interval S] [--once] [--top N]
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (budget exceeded / work-counter
@@ -14,8 +15,9 @@
 use std::process::ExitCode;
 
 use pvtm_trace::{
-    check, diff, folded_stacks, health_check, hot_span_table, snapshot, update_budgets,
-    update_health_budgets, Budgets, HealthBudgets, Journal, Sidecar,
+    check, diff, fetch_live, folded_stacks, health_check, hot_span_table, parse_source,
+    render_journal, render_live, snapshot, update_budgets, update_health_budgets, Budgets,
+    HealthBudgets, Journal, Sidecar, Source,
 };
 
 const USAGE: &str = "usage:
@@ -23,7 +25,8 @@ const USAGE: &str = "usage:
   pvtm-trace diff   <old.json> <new.json> [--tolerance F]
   pvtm-trace check  <budgets.json> <sidecar.json>... [--update-budgets]
   pvtm-trace health <budgets.json> <sidecar.json>... [--update-budgets]
-  pvtm-trace tail   <events.jsonl> [--follow [--interval S]]";
+  pvtm-trace tail   <events.jsonl> [--json | --follow [--interval S]]
+  pvtm-trace top    <addr | events.jsonl> [--interval S] [--once] [--top N]";
 
 const EXIT_GATE: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args[1..]),
         "health" => cmd_health(&args[1..]),
         "tail" => cmd_tail(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         other => usage(&format!("unknown subcommand {other:?}")),
     }
 }
@@ -248,11 +252,13 @@ fn cmd_health(args: &[String]) -> ExitCode {
 fn cmd_tail(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut follow = false;
+    let mut json_out = false;
     let mut interval = 2.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--follow" => follow = true,
+            "--json" => json_out = true,
             "--interval" => match it.next().map(|s| s.parse()) {
                 Some(Ok(s)) if s > 0.0 => interval = s,
                 _ => return usage("--interval needs a positive number of seconds"),
@@ -260,6 +266,9 @@ fn cmd_tail(args: &[String]) -> ExitCode {
             _ if path.is_none() => path = Some(a.clone()),
             _ => return usage("tail takes one journal"),
         }
+    }
+    if json_out && follow {
+        return usage("--json is one-shot; it cannot be combined with --follow");
     }
     let Some(path) = path else {
         return usage("tail needs an events.jsonl path");
@@ -282,7 +291,11 @@ fn cmd_tail(args: &[String]) -> ExitCode {
         // violation is a gate failure, not a usage error.
         return match read(true) {
             Ok(s) => {
-                print!("{}", s.render());
+                if json_out {
+                    print!("{}", s.to_json());
+                } else {
+                    print!("{}", s.render());
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -317,6 +330,82 @@ fn cmd_tail(args: &[String]) -> ExitCode {
                 }
             }
             Err(e) => eprintln!("pvtm-trace tail: {e}"),
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut target = None;
+    let mut interval = 2.0f64;
+    let mut once = false;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval" => match it.next().map(|s| s.parse()) {
+                Some(Ok(s)) if s > 0.0 => interval = s,
+                _ => return usage("--interval needs a positive number of seconds"),
+            },
+            "--top" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => top = n,
+                _ => return usage("--top needs an integer"),
+            },
+            _ if target.is_none() => target = Some(a.clone()),
+            _ => return usage("top takes one metrics address or journal"),
+        }
+    }
+    let Some(target) = target else {
+        return usage("top needs a metrics address or an events.jsonl path");
+    };
+    let source = parse_source(&target);
+
+    // Journal-mode ETA falls back to a local stopwatch (a journal carries
+    // no elapsed time); live frames bring their own `elapsed_secs`.
+    let watch = pvtm_telemetry::clock::Stopwatch::started();
+    let mut frames = 0u64;
+    loop {
+        // (rendered dashboard, run finished) per tick.
+        let outcome: Result<(String, bool), String> = match &source {
+            Source::Addr(addr) => fetch_live(*addr).map(|f| (render_live(&f, top), false)),
+            Source::Journal(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|text| Journal::parse(&text).map_err(|e| format!("{path}: {e}")))
+                .map(|j| {
+                    let s = snapshot(&j);
+                    let finalized = s.finalized;
+                    (render_journal(&s, watch.elapsed_secs()), finalized)
+                }),
+        };
+        match outcome {
+            Ok((text, finished)) => {
+                frames += 1;
+                if once {
+                    // One validated frame: this is the CI schema check.
+                    print!("{text}");
+                    return ExitCode::SUCCESS;
+                }
+                print!("\x1b[2J\x1b[H{text}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                if finished {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                if once {
+                    eprintln!("pvtm-trace top: FAIL — {e}");
+                    return ExitCode::from(EXIT_GATE);
+                }
+                if frames > 0 && matches!(source, Source::Addr(_)) {
+                    // The endpoint served frames and then went away: the
+                    // run finalized and shut its server down. Clean exit.
+                    println!("pvtm-trace top: run finished ({e})");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("pvtm-trace top: {e} (retrying)");
+            }
         }
         std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }

@@ -109,6 +109,7 @@ mod tests {
             solver: Default::default(),
             counters: Default::default(),
             gauges: Default::default(),
+            histograms: Vec::new(),
             spans,
             traces: Vec::new(),
         }

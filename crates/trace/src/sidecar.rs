@@ -94,6 +94,33 @@ pub struct TraceHealth {
     pub stall_ratio: f64,
 }
 
+/// One log2 histogram bucket read back from a sidecar, with explicit
+/// bounds: values in `[lo, hi)` land here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBucket {
+    /// IEEE exponent of the bucket's lower bound.
+    pub log2: i64,
+    /// Inclusive lower bound (`2^log2`).
+    pub lo: f64,
+    /// Exclusive upper bound (`2^(log2+1)`) — the Prometheus `le` bound.
+    pub hi: f64,
+    /// Observations in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// One named log2 histogram read back from a sidecar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Observations of non-positive values (below every bucket).
+    pub underflow: u64,
+    /// Buckets in sidecar (exponent) order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
 /// One named convergence trace read back from a sidecar.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -129,6 +156,11 @@ pub struct Sidecar {
     pub spans: Vec<Span>,
     /// Convergence traces in sidecar order.
     pub traces: Vec<Trace>,
+    /// Log2 histograms in sidecar order. Bucket bounds are explicit:
+    /// producers that emit them (`lo`/`hi`) are taken at their word, and
+    /// older sidecars that carry only the `log2` index get both bounds
+    /// re-derived (`2^log2`, `2^(log2+1)`).
+    pub histograms: Vec<Histogram>,
 }
 
 fn get_u64(v: &Value, key: &str) -> u64 {
@@ -256,6 +288,48 @@ impl Sidecar {
             })
             .collect();
 
+        let histograms = doc
+            .get("histograms")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|h| {
+                let name = h.get("name")?.as_str()?.to_string();
+                let buckets = h
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|b| {
+                        let log2 = b.get("log2")?.as_f64()? as i64;
+                        // Tolerant of both forms: explicit bounds when the
+                        // producer emitted them, else derived from log2.
+                        let exp = i32::try_from(log2).ok()?;
+                        let lo = b
+                            .get("lo")
+                            .and_then(Value::as_f64)
+                            .unwrap_or_else(|| 2.0f64.powi(exp));
+                        let hi = b
+                            .get("hi")
+                            .and_then(Value::as_f64)
+                            .unwrap_or_else(|| 2.0f64.powi(exp + 1));
+                        Some(HistogramBucket {
+                            log2,
+                            lo,
+                            hi,
+                            count: get_u64(b, "count"),
+                        })
+                    })
+                    .collect();
+                Some(Histogram {
+                    name,
+                    count: get_u64(h, "count"),
+                    underflow: get_u64(h, "underflow"),
+                    buckets,
+                })
+            })
+            .collect();
+
         Ok(Sidecar {
             id: doc
                 .get("id")
@@ -274,6 +348,7 @@ impl Sidecar {
             gauges,
             spans,
             traces,
+            histograms,
         })
     }
 
@@ -402,6 +477,46 @@ mod tests {
         assert!(s.traces.is_empty());
         assert!(s.gauges.is_empty());
         assert_eq!(s.spans[0].rescue_attempts, 0);
+    }
+
+    #[test]
+    fn histogram_bounds_parse_explicitly_and_derive_when_absent() {
+        let text = r#"{
+          "schema": "pvtm-telemetry/3",
+          "id": "h",
+          "mode": "full",
+          "clock": false,
+          "histograms": [
+            {"name": "mc.is_weight", "count": 9, "underflow": 1,
+             "buckets": [
+               {"log2": -1, "lo": 0.5, "hi": 1, "count": 3},
+               {"log2": 0, "count": 5}
+             ]}
+          ]
+        }"#;
+        let s = Sidecar::parse(text).unwrap();
+        assert_eq!(s.histograms.len(), 1);
+        let h = &s.histograms[0];
+        assert_eq!((h.count, h.underflow), (9, 1));
+        // Explicit bounds win; missing bounds derive from the log2 index.
+        assert_eq!(
+            h.buckets[0],
+            HistogramBucket {
+                log2: -1,
+                lo: 0.5,
+                hi: 1.0,
+                count: 3
+            }
+        );
+        assert_eq!(
+            h.buckets[1],
+            HistogramBucket {
+                log2: 0,
+                lo: 1.0,
+                hi: 2.0,
+                count: 5
+            }
+        );
     }
 
     #[test]

@@ -308,6 +308,55 @@ impl Snapshot {
         (done, total)
     }
 
+    /// The snapshot as a JSON value with alphabetically sorted keys —
+    /// the `tail --json` machine-readable contract. `work_done` /
+    /// `work_total` are denormalized in so scripted consumers do not
+    /// have to re-sum the traces.
+    pub fn to_value(&self) -> Value {
+        let (work_done, work_total) = self.work();
+        let traces = self
+            .traces
+            .iter()
+            .map(|t| {
+                json::obj(vec![
+                    ("chunks_done", Value::Num(t.chunks_done as f64)),
+                    ("chunks_total", Value::Num(t.chunks_total as f64)),
+                    ("name", Value::Str(t.name.clone())),
+                    ("samples_done", Value::Num(t.samples_done as f64)),
+                    ("samples_total", Value::Num(t.samples_total as f64)),
+                    ("std_err", Value::Num(t.std_err)),
+                    ("value", Value::Num(t.value)),
+                ])
+            })
+            .collect();
+        json::obj(vec![
+            ("corners", Value::Num(self.corners as f64)),
+            (
+                "corners_quarantined",
+                Value::Num(self.corners_quarantined as f64),
+            ),
+            ("estimates", Value::Num(self.estimates as f64)),
+            ("events", Value::Num(self.events as f64)),
+            ("finalized", Value::Bool(self.finalized)),
+            ("id", Value::Str(self.id.clone())),
+            ("quarantined", Value::Num(self.quarantined as f64)),
+            ("rescue_attempts", Value::Num(self.rescue_attempts as f64)),
+            ("rescue_hits", Value::Num(self.rescue_hits as f64)),
+            ("torn_tail", Value::Bool(self.torn_tail)),
+            ("traces", Value::Arr(traces)),
+            ("work_done", Value::Num(work_done as f64)),
+            ("work_total", Value::Num(work_total as f64)),
+        ])
+    }
+
+    /// Compact one-line JSON rendering of [`Snapshot::to_value`], with a
+    /// trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = self.to_value().to_json();
+        out.push('\n');
+        out
+    }
+
     /// Renders the human-readable snapshot.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -442,6 +491,33 @@ mod tests {
         assert!(text.contains("in flight"), "{text}");
         assert!(text.contains("2/2 chunks"), "{text}");
         assert!(text.contains("1/1 hits/attempts"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_denormalizes_work() {
+        let j = Journal::parse(&journal_text(false)).unwrap();
+        let s = snapshot(&j);
+        let v = s.to_value();
+        let Value::Obj(members) = &v else {
+            panic!("snapshot JSON must be an object");
+        };
+        let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "top-level keys must be alphabetical");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("fig2a"));
+        assert_eq!(v.get("finalized").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("work_done").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("work_total").and_then(Value::as_u64), Some(2));
+        let text = s.to_json();
+        assert!(text.ends_with('\n'));
+        let reparsed = json::parse(text.trim_end()).expect("tail --json output reparses");
+        assert_eq!(
+            reparsed
+                .get("traces")
+                .map(|t| matches!(t, Value::Arr(a) if a.len() == 1)),
+            Some(true)
+        );
     }
 
     #[test]
